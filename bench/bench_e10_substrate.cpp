@@ -1,0 +1,116 @@
+// E10 - throughput of the HPC substrate.
+//
+// Not a paper claim: this bench characterizes the simulation machinery
+// every other experiment stands on - bit-parallel 0-1 sweeps (64 vectors
+// per word), scalar evaluation, and threaded batch throughput/scaling.
+#include "bench_util.hpp"
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "sim/batch.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+void print_table() {
+  benchutil::header("E10: substrate throughput",
+                    "bit-parallel 0-1 sweeps, scalar evaluation, threaded "
+                    "batch scaling (infrastructure for E1-E9)");
+  std::printf("exhaustive 0-1 certification (bit-parallel, threaded):\n");
+  std::printf("%-28s | %14s %12s\n", "network", "vectors", "certified");
+  benchutil::rule();
+  ThreadPool pool;
+  for (const wire_t n : {4u, 8u, 16u}) {
+    const auto circuit = bitonic_sorting_network(n);
+    const auto report = zero_one_check(circuit, &pool);
+    std::printf("%-28s | %14llu %12s\n",
+                ("bitonic circuit n=" + std::to_string(n)).c_str(),
+                static_cast<unsigned long long>(report.vectors_checked),
+                report.sorts_all ? "yes" : "NO");
+    const auto reg = bitonic_on_shuffle(n);
+    const auto reg_report = zero_one_check(reg, &pool);
+    std::printf("%-28s | %14llu %12s\n",
+                ("Stone shuffle form n=" + std::to_string(n)).c_str(),
+                static_cast<unsigned long long>(reg_report.vectors_checked),
+                reg_report.sorts_all ? "yes" : "NO");
+  }
+  std::printf("(the google-benchmark section below carries timing detail,\n"
+              " including 2^20-vector sweeps and thread scaling)\n");
+}
+
+void BM_ZeroOneSweep(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  const auto net = bitonic_sorting_network(n);
+  for (auto _ : state) {
+    auto report = zero_one_check(net);
+    benchmark::DoNotOptimize(report.sorts_all);
+  }
+  state.SetItemsProcessed(state.iterations() * (1ll << n));
+}
+BENCHMARK(BM_ZeroOneSweep)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// A deeper sweep: pad a 16-wide sorter with redundant copies so the gate
+// pass per 64-vector batch is substantial, then scale threads.
+void BM_ZeroOneSweepThreaded(benchmark::State& state) {
+  const wire_t n = 16;
+  auto net = bitonic_sorting_network(n);
+  for (int copies = 0; copies < 7; ++copies)
+    net.append(bitonic_sorting_network(n));
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto report = zero_one_check(net, &pool);
+    benchmark::DoNotOptimize(report.sorts_all);
+  }
+  state.SetItemsProcessed(state.iterations() * (1ll << n));
+}
+BENCHMARK(BM_ZeroOneSweepThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScalarEvaluate(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  const auto net = bitonic_sorting_network(n);
+  Prng rng(1);
+  const auto input = random_permutation(n, rng);
+  for (auto _ : state) {
+    auto v = std::vector<wire_t>(input.image().begin(), input.image().end());
+    net.evaluate_in_place(std::span<wire_t>(v));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScalarEvaluate)->RangeMultiplier(4)->Range(64, 65536);
+
+void BM_RegisterEvaluate(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  const auto net = bitonic_on_shuffle(n);
+  Prng rng(2);
+  const auto input = random_permutation(n, rng);
+  for (auto _ : state) {
+    auto v = net.evaluate(
+        std::vector<wire_t>(input.image().begin(), input.image().end()));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RegisterEvaluate)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_BatchSortedCount(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  BatchEvaluator evaluator(workers);
+  const auto net = bitonic_sorting_network(256);
+  for (auto _ : state) {
+    auto count = evaluator.count_sorted_outputs(net, 2000, 3);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_BatchSortedCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shufflebound
+
+SHUFFLEBOUND_BENCH_MAIN(shufflebound::print_table)

@@ -1,0 +1,83 @@
+// E12 - Knuth 5.3.4.47 in miniature: exact and searched minimal depths
+// of shuffle-based sorting networks at tiny n, against the paper's
+// curves.
+//
+// The paper bounds the asymptotics: Omega(lg^2 n / lg lg n) <= minimal
+// depth <= lg^2 n (Stone/Batcher). At n = 4 exhaustive search settles
+// the exact value (3, strictly between the trivial bound lg n = 2 and
+// Stone's 4); at n = 8 a beam search over the 0-1 state space exhibits
+// an 8-step sorter, one better than Stone's lg^2 8 = 9 - small-n
+// evidence that the upper curve is not tight, consistent with the
+// paper's open Theta(lg lg n) gap.
+#include <cmath>
+
+#include "analysis/search.hpp"
+#include "bench_util.hpp"
+#include "networks/shuffle.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/bits.hpp"
+
+namespace shufflebound {
+namespace {
+
+void print_table() {
+  benchutil::header("E12: minimal depth of shuffle-based sorters at small n",
+                    "trivial lg n <= minimal depth <= lg^2 n; the paper "
+                    "pins the asymptotics to lg^2 n / lg lg n within "
+                    "Theta(lg lg n)");
+  std::printf("%4s | %8s %12s %14s %10s | %s\n", "n", "lg n",
+              "lower curve", "found depth", "lg^2 n", "method");
+  benchutil::rule();
+  {
+    const auto r2 = exact_min_depth_shuffle_sorter(2, 4);
+    std::printf("%4u | %8u %12.2f %14zu %10u | exact search\n", 2u, 1u, 1.0,
+                r2 ? r2->depth : 0, 1u);
+  }
+  {
+    const auto r4 = exact_min_depth_shuffle_sorter(4, 8);
+    std::printf("%4u | %8u %12.2f %14zu %10u | exact search (minimum)\n", 4u,
+                2u, 4.0 / (4 * 1.0), r4 ? r4->depth : 0, 4u);
+  }
+  {
+    Prng rng(7);
+    const auto r8 = beam_search_shuffle_sorter(8, 9, 256, rng);
+    const double curve = 9.0 / (4 * std::log2(3.0));
+    std::printf("%4u | %8u %12.2f %14zu %10u | beam search (upper bound)\n",
+                8u, 3u, curve, r8 ? r8->depth : 0, 9u);
+    if (r8) {
+      std::printf("     verified: sorts=%s shuffle-based=%s\n",
+                  zero_one_check(r8->network).sorts_all ? "yes" : "NO",
+                  r8->network.is_shuffle_based() ? "yes" : "NO");
+    }
+  }
+  benchutil::rule();
+  std::printf(
+      "shape check: n=4 minimum (3) lies strictly between lg n = 2 and\n"
+      "Stone's lg^2 n = 4; n=8 admits an 8 < 9 = lg^2 n step sorter. The\n"
+      "exact minimal-depth question for general n is precisely Knuth's\n"
+      "Problem 5.3.4.47, which the paper answers asymptotically.\n");
+}
+
+void BM_ExactSearchN4(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = exact_min_depth_shuffle_sorter(4, 6);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExactSearchN4)->Unit(benchmark::kMillisecond);
+
+void BM_BeamSearchN8(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Prng rng(7);
+    auto result = beam_search_shuffle_sorter(8, 9, width, rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BeamSearchN8)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shufflebound
+
+SHUFFLEBOUND_BENCH_MAIN(shufflebound::print_table)

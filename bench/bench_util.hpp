@@ -1,0 +1,36 @@
+// Shared helpers for the experiment binaries: each binary prints its
+// experiment table (the reproduction artifact recorded in EXPERIMENTS.md)
+// and then runs its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace shufflebound::benchutil {
+
+inline void header(const std::string& experiment_id, const std::string& claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", experiment_id.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void rule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+/// Standard main body: print the experiment table, then timings.
+#define SHUFFLEBOUND_BENCH_MAIN(print_fn)                   \
+  int main(int argc, char** argv) {                         \
+    print_fn();                                             \
+    benchmark::Initialize(&argc, argv);                     \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                             \
+    benchmark::RunSpecifiedBenchmarks();                    \
+    benchmark::Shutdown();                                  \
+    return 0;                                               \
+  }
+
+}  // namespace shufflebound::benchutil

@@ -1,0 +1,146 @@
+#include "adversary/certificate.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "pattern/format.hpp"
+
+namespace shufflebound {
+
+std::optional<Certificate> make_certificate(const AdversaryResult& result) {
+  const auto witness = extract_witness(result);
+  if (!witness) return std::nullopt;
+  Certificate cert;
+  cert.n = result.input_pattern.size();
+  cert.pattern = result.input_pattern;
+  cert.survivors = result.survivors;
+  cert.witness = *witness;
+  return cert;
+}
+
+std::string to_text(const Certificate& cert) {
+  std::ostringstream out;
+  out << "nonsorting-certificate\n";
+  out << "n " << cert.n << "\n";
+  out << "pattern " << to_text(cert.pattern) << "\n";
+  out << "survivors";
+  for (const wire_t w : cert.survivors) out << ' ' << w;
+  out << "\npi";
+  for (wire_t w = 0; w < cert.n; ++w) out << ' ' << cert.witness.pi[w];
+  out << "\npi_prime";
+  for (wire_t w = 0; w < cert.n; ++w) out << ' ' << cert.witness.pi_prime[w];
+  out << "\nw0 " << cert.witness.w0 << " w1 " << cert.witness.w1 << " m "
+      << cert.witness.m << "\nend\n";
+  return out.str();
+}
+
+Certificate certificate_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  const auto next_line = [&](const char* what) -> std::string {
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.find_first_not_of(" \t\r") != std::string::npos)
+        return line;
+    }
+    throw std::invalid_argument(std::string("certificate: missing ") + what);
+  };
+
+  if (next_line("header") != "nonsorting-certificate")
+    throw std::invalid_argument("certificate: bad header");
+
+  Certificate cert;
+  {
+    std::istringstream row(next_line("n"));
+    std::string key;
+    row >> key >> cert.n;
+    if (key != "n" || row.fail() || cert.n == 0)
+      throw std::invalid_argument("certificate: bad 'n' row");
+  }
+  {
+    std::string row = next_line("pattern");
+    if (row.rfind("pattern ", 0) != 0)
+      throw std::invalid_argument("certificate: bad 'pattern' row");
+    cert.pattern = pattern_from_text(row.substr(8));
+    if (cert.pattern.size() != cert.n)
+      throw std::invalid_argument("certificate: pattern width mismatch");
+  }
+  {
+    std::istringstream row(next_line("survivors"));
+    std::string key;
+    row >> key;
+    if (key != "survivors")
+      throw std::invalid_argument("certificate: bad 'survivors' row");
+    wire_t w;
+    while (row >> w) cert.survivors.push_back(w);
+  }
+  const auto read_perm = [&](const char* key_expected) {
+    std::istringstream row(next_line(key_expected));
+    std::string key;
+    row >> key;
+    if (key != key_expected)
+      throw std::invalid_argument(std::string("certificate: bad '") +
+                                  key_expected + "' row");
+    std::vector<wire_t> image(cert.n);
+    for (wire_t w = 0; w < cert.n; ++w) {
+      if (!(row >> image[w]))
+        throw std::invalid_argument(std::string("certificate: short '") +
+                                    key_expected + "' row");
+    }
+    return Permutation(std::move(image));
+  };
+  cert.witness.pi = read_perm("pi");
+  cert.witness.pi_prime = read_perm("pi_prime");
+  {
+    std::istringstream row(next_line("w0"));
+    std::string k0, k1, km;
+    row >> k0 >> cert.witness.w0 >> k1 >> cert.witness.w1 >> km >>
+        cert.witness.m;
+    if (k0 != "w0" || k1 != "w1" || km != "m" || row.fail())
+      throw std::invalid_argument("certificate: bad witness row");
+  }
+  if (next_line("end") != "end")
+    throw std::invalid_argument("certificate: missing 'end'");
+  return cert;
+}
+
+namespace {
+
+template <typename Net>
+CertificateVerdict verify_impl(const Net& net, const Certificate& cert) {
+  CertificateVerdict verdict;
+  const Witness& w = cert.witness;
+  verdict.well_formed =
+      net.width() == cert.n && w.pi.size() == cert.n &&
+      w.pi_prime.size() == cert.n && w.w0 < cert.n && w.w1 < cert.n &&
+      w.w0 != w.w1 && w.pi[w.w0] == w.m && w.pi[w.w1] == w.m + 1 &&
+      w.pi_prime[w.w0] == w.m + 1 && w.pi_prime[w.w1] == w.m &&
+      refines_to_input(cert.pattern, w.pi) &&
+      refines_to_input(cert.pattern, w.pi_prime);
+  if (verdict.well_formed) {
+    // pi and pi' must agree away from w0, w1.
+    for (wire_t x = 0; x < cert.n; ++x) {
+      if (x == w.w0 || x == w.w1) continue;
+      if (w.pi[x] != w.pi_prime[x]) {
+        verdict.well_formed = false;
+        break;
+      }
+    }
+  }
+  if (!verdict.well_formed) return verdict;
+  verdict.witness_check = check_witness(net, w);
+  return verdict;
+}
+
+}  // namespace
+
+CertificateVerdict verify_certificate(const ComparatorNetwork& net,
+                                      const Certificate& cert) {
+  return verify_impl(net, cert);
+}
+
+CertificateVerdict verify_certificate(const RegisterNetwork& net,
+                                      const Certificate& cert) {
+  return verify_impl(net, cert);
+}
+
+}  // namespace shufflebound

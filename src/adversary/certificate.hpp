@@ -1,0 +1,53 @@
+// Non-sortedness certificates: a self-contained text artifact
+//
+//   nonsorting-certificate
+//   n <width>
+//   pattern <symbols...>
+//   survivors <wires...>
+//   pi <values...>
+//   pi_prime <values...>
+//   w0 <wire> w1 <wire> m <value>
+//   end
+//
+// produced from an adversary run and re-checkable by anyone holding the
+// network, without trusting the adversary: verify_certificate replays
+// both inputs through the network with a comparison recorder and accepts
+// iff the Corollary 4.1.1 conditions hold (values m, m+1 never compared;
+// identical permutation applied) and the inputs refine the pattern.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "adversary/theorem41.hpp"
+#include "adversary/witness.hpp"
+
+namespace shufflebound {
+
+struct Certificate {
+  wire_t n = 0;
+  InputPattern pattern;
+  std::vector<wire_t> survivors;
+  Witness witness;
+};
+
+/// Builds a certificate from an adversary result (needs >= 2 survivors).
+std::optional<Certificate> make_certificate(const AdversaryResult& result);
+
+std::string to_text(const Certificate& cert);
+Certificate certificate_from_text(const std::string& text);
+
+struct CertificateVerdict {
+  bool well_formed = false;       // inputs refine the pattern, pair adjacent
+  WitnessCheck witness_check;     // replay results
+  bool accepted() const {
+    return well_formed && witness_check.refutes_sorting();
+  }
+};
+
+CertificateVerdict verify_certificate(const ComparatorNetwork& net,
+                                      const Certificate& cert);
+CertificateVerdict verify_certificate(const RegisterNetwork& net,
+                                      const Certificate& cert);
+
+}  // namespace shufflebound

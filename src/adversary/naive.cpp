@@ -1,0 +1,75 @@
+#include "adversary/naive.hpp"
+
+#include <stdexcept>
+
+namespace shufflebound {
+
+NaiveAdversaryResult naive_adversary(const ComparatorNetwork& net) {
+  const wire_t n = net.width();
+  constexpr wire_t npos = static_cast<wire_t>(-1);
+
+  NaiveAdversaryResult result;
+  result.pattern = InputPattern(n, sym_M(0));
+  std::vector<PatternSymbol> state(n, sym_M(0));
+  std::vector<wire_t> wire_at_pos(n);
+  std::vector<wire_t> pos_of_wire(n);
+  for (wire_t w = 0; w < n; ++w) wire_at_pos[w] = pos_of_wire[w] = w;
+  std::size_t alive = n;
+  result.set_size_by_level.push_back(alive);
+  result.levels_until_singleton = net.depth() + 1;
+
+  std::uint32_t next_xj = 0;
+  for (std::size_t li = 0; li < net.depth(); ++li) {
+    const Level& level = net.level(li);
+    // Sacrifice one member per intra-set comparison (scan before acting).
+    const std::uint32_t xj = next_xj++;
+    for (const Gate& g : level.gates) {
+      if (!is_comparator(g.op)) continue;
+      const wire_t u = wire_at_pos[g.lo];
+      const wire_t v = wire_at_pos[g.hi];
+      if (u == npos || v == npos) continue;
+      // Demote the value on the hi line; with <_P this parks it strictly
+      // between S_0-land and M_0, so no comparison outcome changes.
+      result.pattern.set(v, sym_X(0, xj));
+      state[g.hi] = sym_X(0, xj);
+      wire_at_pos[g.hi] = npos;
+      pos_of_wire[v] = npos;
+      --alive;
+    }
+    // Apply the level to the symbols.
+    for (const Gate& g : level.gates) {
+      PatternSymbol& a = state[g.lo];
+      PatternSymbol& b = state[g.hi];
+      bool do_swap = false;
+      switch (g.op) {
+        case GateOp::CompareAsc:
+          do_swap = b < a;
+          break;
+        case GateOp::CompareDesc:
+          do_swap = a < b;
+          break;
+        case GateOp::Exchange:
+          do_swap = true;
+          break;
+        case GateOp::Passthrough:
+          break;
+      }
+      if (is_comparator(g.op) && a == b &&
+          (wire_at_pos[g.lo] != npos || wire_at_pos[g.hi] != npos))
+        throw std::logic_error("naive_adversary: tracked symbols collided");
+      if (do_swap) {
+        std::swap(a, b);
+        std::swap(wire_at_pos[g.lo], wire_at_pos[g.hi]);
+        if (wire_at_pos[g.lo] != npos) pos_of_wire[wire_at_pos[g.lo]] = g.lo;
+        if (wire_at_pos[g.hi] != npos) pos_of_wire[wire_at_pos[g.hi]] = g.hi;
+      }
+    }
+    result.set_size_by_level.push_back(alive);
+    if (alive <= 1 && result.levels_until_singleton > net.depth())
+      result.levels_until_singleton = li + 1;
+  }
+  result.survivors = result.pattern.set_of(sym_M(0));
+  return result;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,33 @@
+// The strawman adversary of Section 2: keep a single set of mutually
+// uncompared wires; whenever two members' values meet at a comparator,
+// sacrifice one of them. Up to half of the set dies per level, so this
+// technique alone proves only the trivial Omega(lg n) bound - the paper's
+// motivation for the multi-set machinery of Lemma 4.1. Implemented here
+// as the baseline for experiment E4 (naive vs multi-set survival curves).
+#pragma once
+
+#include <vector>
+
+#include "core/comparator_network.hpp"
+#include "pattern/input_pattern.hpp"
+
+namespace shufflebound {
+
+struct NaiveAdversaryResult {
+  /// Pattern over the input wires witnessing the surviving set.
+  InputPattern pattern;
+  /// Wires of the surviving [M_0]-set.
+  std::vector<wire_t> survivors;
+  /// set_size_by_level[l] = size after processing l levels (index 0 = n).
+  std::vector<std::size_t> set_size_by_level;
+  /// First level after which the set shrank to <= 1 (network depth + 1 if
+  /// it never did).
+  std::size_t levels_until_singleton = 0;
+};
+
+/// Runs the single-set adversary over the whole circuit (use
+/// IteratedRdn::flatten() for iterated networks). Starts from the all-M_0
+/// pattern and continues through every level even once the set is small.
+NaiveAdversaryResult naive_adversary(const ComparatorNetwork& net);
+
+}  // namespace shufflebound

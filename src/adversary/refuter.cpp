@@ -1,0 +1,107 @@
+#include "adversary/refuter.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+namespace {
+
+RefutationResult finish(const AdversaryResult& adversary,
+                        const std::function<bool(const Witness&)>& verify,
+                        std::string scope_note) {
+  RefutationResult result;
+  result.adversary = adversary;
+  std::ostringstream detail;
+  detail << scope_note << "; survivors " << adversary.survivors.size()
+         << ", theorem floor " << adversary.theorem_bound;
+  result.detail = detail.str();
+  auto cert = make_certificate(adversary);
+  if (!cert) {
+    result.status = RefutationStatus::TooFewSurvivors;
+    return result;
+  }
+  if (!verify(cert->witness)) {
+    // Should be impossible; surface loudly rather than hand out a bogus
+    // certificate.
+    throw std::logic_error("refute: certificate failed self-verification");
+  }
+  result.status = RefutationStatus::Refuted;
+  result.certificate = std::move(cert);
+  return result;
+}
+
+}  // namespace
+
+RefutationResult refute(const IteratedRdn& net, std::uint32_t k) {
+  const AdversaryResult adversary = run_adversary(net, k);
+  std::ostringstream note;
+  note << "iterated RDN, " << net.stage_count() << " stage(s)";
+  return finish(
+      adversary,
+      [&](const Witness& w) { return check_witness(net, w).refutes_sorting(); },
+      note.str());
+}
+
+RefutationResult refute(const RegisterNetwork& net, std::uint32_t k) {
+  if (!is_pow2(net.width()) || net.width() < 4) {
+    RefutationResult result;
+    result.detail = "width must be a power of two >= 4";
+    return result;
+  }
+  if (!net.is_shuffle_based()) {
+    RefutationResult result;
+    result.detail =
+        "register network is not shuffle-based; the bound addresses the "
+        "shuffle-only (strict ascend) class";
+    return result;
+  }
+  const IteratedRdn rdn = shuffle_to_iterated_rdn(net);
+  const AdversaryResult adversary = run_adversary(rdn, k);
+  std::ostringstream note;
+  note << "shuffle-based network, " << rdn.stage_count() << " chunk(s) of lg n";
+  return finish(
+      adversary,
+      [&](const Witness& w) { return check_witness(net, w).refutes_sorting(); },
+      note.str());
+}
+
+RefutationResult refute(const ComparatorNetwork& net, std::uint32_t k) {
+  RefutationResult out_of_scope;
+  if (!is_pow2(net.width()) || net.width() < 4) {
+    out_of_scope.detail = "width must be a power of two >= 4";
+    return out_of_scope;
+  }
+  const std::uint32_t d = log2_exact(net.width());
+  IteratedRdn rdn(net.width());
+  std::size_t chunks = 0;
+  for (std::size_t first = 0; first < net.depth() || chunks == 0;
+       first += d) {
+    const std::size_t last = std::min(first + d, net.depth());
+    ComparatorNetwork slice = net.slice(first, last);
+    while (slice.depth() < d) slice.add_level(Level{});
+    const auto tree = recognize_rdn(slice);
+    if (!tree) {
+      std::ostringstream note;
+      note << "levels [" << first << ", " << last
+           << ") do not form a recognizable reverse delta network";
+      out_of_scope.detail = note.str();
+      return out_of_scope;
+    }
+    rdn.add_stage({Permutation::identity(net.width()),
+                   RdnChunk{std::move(slice), *tree}});
+    ++chunks;
+    if (last >= net.depth()) break;
+  }
+  const AdversaryResult adversary = run_adversary(rdn, k);
+  std::ostringstream note;
+  note << "circuit sliced into " << chunks << " recognized RDN chunk(s)";
+  return finish(
+      adversary,
+      [&](const Witness& w) { return check_witness(net, w).refutes_sorting(); },
+      note.str());
+}
+
+}  // namespace shufflebound

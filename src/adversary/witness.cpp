@@ -1,0 +1,110 @@
+#include "adversary/witness.hpp"
+
+#include <stdexcept>
+
+namespace shufflebound {
+
+std::optional<Witness> extract_witness(const AdversaryResult& result) {
+  if (result.survivors.size() < 2) return std::nullopt;
+  Witness w;
+  w.w0 = result.survivors[0];
+  w.w1 = result.survivors[1];
+  w.pi = linearize(result.input_pattern, std::make_pair(w.w0, w.w1));
+  w.m = w.pi[w.w0];
+  if (w.pi[w.w1] != w.m + 1)
+    throw std::logic_error("extract_witness: linearize adjacency violated");
+  std::vector<wire_t> image(w.pi.image().begin(), w.pi.image().end());
+  std::swap(image[w.w0], image[w.w1]);
+  w.pi_prime = Permutation(std::move(image));
+  return w;
+}
+
+namespace {
+
+Witness witness_for_pair(const AdversaryResult& result, wire_t w0, wire_t w1) {
+  Witness w;
+  w.w0 = w0;
+  w.w1 = w1;
+  w.pi = linearize(result.input_pattern, std::make_pair(w0, w1));
+  w.m = w.pi[w0];
+  std::vector<wire_t> image(w.pi.image().begin(), w.pi.image().end());
+  std::swap(image[w0], image[w1]);
+  w.pi_prime = Permutation(std::move(image));
+  return w;
+}
+
+}  // namespace
+
+std::vector<Witness> enumerate_witnesses(const AdversaryResult& result,
+                                         std::size_t limit) {
+  std::vector<Witness> witnesses;
+  const auto& survivors = result.survivors;
+  for (std::size_t a = 0; a < survivors.size() && witnesses.size() < limit;
+       ++a) {
+    for (std::size_t b = a + 1;
+         b < survivors.size() && witnesses.size() < limit; ++b) {
+      witnesses.push_back(
+          witness_for_pair(result, survivors[a], survivors[b]));
+    }
+  }
+  return witnesses;
+}
+
+namespace {
+
+template <typename Net>
+std::vector<wire_t> run_with_recorder(const Net& net, const Permutation& input,
+                                      ComparisonRecorder& recorder) {
+  std::vector<wire_t> values(input.image().begin(), input.image().end());
+  if constexpr (std::is_same_v<Net, ComparatorNetwork>) {
+    net.evaluate_in_place(std::span<wire_t>(values), std::less<wire_t>{},
+                          recorder);
+  } else {
+    net.evaluate_in_place(values, std::less<wire_t>{}, recorder);
+  }
+  return values;
+}
+
+template <typename Net>
+WitnessCheck check_impl(const Net& net, const Witness& w) {
+  const wire_t n = w.pi.size();
+  ComparisonRecorder rec_pi(n);
+  ComparisonRecorder rec_prime(n);
+  const std::vector<wire_t> out_pi = run_with_recorder(net, w.pi, rec_pi);
+  const std::vector<wire_t> out_prime =
+      run_with_recorder(net, w.pi_prime, rec_prime);
+
+  WitnessCheck check;
+  check.never_compared =
+      !rec_pi.compared(w.m, w.m + 1) && !rec_prime.compared(w.m, w.m + 1);
+
+  const auto swap_pair = [&](wire_t v) -> wire_t {
+    if (v == w.m) return w.m + 1;
+    if (v == w.m + 1) return w.m;
+    return v;
+  };
+  check.same_permutation = true;
+  for (wire_t pos = 0; pos < n; ++pos) {
+    if (out_prime[pos] != swap_pair(out_pi[pos])) {
+      check.same_permutation = false;
+      break;
+    }
+  }
+  return check;
+}
+
+}  // namespace
+
+WitnessCheck check_witness(const ComparatorNetwork& net, const Witness& w) {
+  return check_impl(net, w);
+}
+
+WitnessCheck check_witness(const RegisterNetwork& net, const Witness& w) {
+  return check_impl(net, w);
+}
+
+WitnessCheck check_witness(const IteratedRdn& net, const Witness& w) {
+  return check_impl(net, w);
+}
+
+}  // namespace shufflebound

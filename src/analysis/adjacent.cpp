@@ -1,0 +1,67 @@
+#include "analysis/adjacent.hpp"
+
+namespace shufflebound {
+
+namespace {
+
+template <typename Net>
+std::optional<AdjacentPairViolation> find_violation_impl(const Net& net,
+                                                         std::size_t trials,
+                                                         Prng& rng) {
+  const wire_t n = net.width();
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Permutation input = random_permutation(n, rng);
+    ComparisonRecorder recorder(n);
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    if constexpr (std::is_same_v<Net, ComparatorNetwork>) {
+      net.evaluate_in_place(std::span<wire_t>(values), std::less<wire_t>{},
+                            recorder);
+    } else {
+      net.evaluate_in_place(values, std::less<wire_t>{}, recorder);
+    }
+    for (wire_t m = 0; m + 1 < n; ++m) {
+      if (!recorder.compared(m, m + 1)) {
+        AdjacentPairViolation violation;
+        violation.input = input;
+        violation.m = m;
+        const Permutation inverse = input.inverse();
+        violation.w0 = inverse[m];
+        violation.w1 = inverse[m + 1];
+        return violation;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<AdjacentPairViolation> find_adjacent_pair_violation(
+    const ComparatorNetwork& net, std::size_t trials, Prng& rng) {
+  return find_violation_impl(net, trials, rng);
+}
+
+std::optional<AdjacentPairViolation> find_adjacent_pair_violation(
+    const RegisterNetwork& net, std::size_t trials, Prng& rng) {
+  return find_violation_impl(net, trials, rng);
+}
+
+double adjacent_pair_coverage(const ComparatorNetwork& net, std::size_t trials,
+                              Prng& rng) {
+  const wire_t n = net.width();
+  if (n < 2 || trials == 0) return 1.0;
+  std::size_t covered = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Permutation input = random_permutation(n, rng);
+    ComparisonRecorder recorder(n);
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    net.evaluate_in_place(std::span<wire_t>(values), std::less<wire_t>{},
+                          recorder);
+    for (wire_t m = 0; m + 1 < n; ++m)
+      if (recorder.compared(m, m + 1)) ++covered;
+  }
+  return static_cast<double>(covered) /
+         (static_cast<double>(trials) * (n - 1));
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,44 @@
+// The Section 2 necessary condition, as a sampling refuter.
+//
+// "A sorting network has to make a comparison between all pairs of
+// adjacent values in every input": if some input pi carries values m and
+// m+1 that the network never compares, swapping them produces a second
+// input the network maps through the identical permutation - it cannot
+// sort both. This is exactly what the adversary certifies analytically;
+// here the same condition is hunted by random sampling, giving an
+// independent (and often much faster, but incomplete) refutation engine
+// to compare against the adversary in E5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/comparator_network.hpp"
+#include "core/register_network.hpp"
+#include "perm/permutation.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+struct AdjacentPairViolation {
+  Permutation input;
+  wire_t m = 0;       // values m and m+1 were never compared
+  wire_t w0 = 0, w1 = 0;  // wires carrying them
+};
+
+/// Samples up to `trials` random inputs; returns the first input carrying
+/// an uncompared adjacent value pair, or nullopt if every sampled input
+/// compares all n-1 adjacent pairs (consistent with - but not proof of -
+/// being a sorting network).
+std::optional<AdjacentPairViolation> find_adjacent_pair_violation(
+    const ComparatorNetwork& net, std::size_t trials, Prng& rng);
+std::optional<AdjacentPairViolation> find_adjacent_pair_violation(
+    const RegisterNetwork& net, std::size_t trials, Prng& rng);
+
+/// Fraction of (input, m) pairs covered: over `trials` random inputs, the
+/// mean fraction of the n-1 adjacent value pairs that were compared. A
+/// sorting network scores exactly 1.0.
+double adjacent_pair_coverage(const ComparatorNetwork& net, std::size_t trials,
+                              Prng& rng);
+
+}  // namespace shufflebound

@@ -1,0 +1,57 @@
+#include "analysis/depth_profile.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace shufflebound {
+
+bool is_monotone(const ComparatorNetwork& net) {
+  for (const Level& level : net.levels())
+    for (const Gate& g : level.gates)
+      if (g.op != GateOp::CompareAsc) return false;
+  return true;
+}
+
+DepthProfile profile_first_sorted_level(BatchEvaluator& evaluator,
+                                        const ComparatorNetwork& net,
+                                        std::size_t trials,
+                                        std::uint64_t seed) {
+  if (!is_monotone(net))
+    throw std::invalid_argument(
+        "profile_first_sorted_level: network must be monotone");
+  const std::size_t depth = net.depth();
+  DepthProfile profile;
+  profile.histogram.assign(depth + 2, 0);
+  profile.trials = trials;
+
+  std::mutex merge_mutex;
+  // count_trials gives us the deterministic per-trial rng derivation; the
+  // boolean result is unused.
+  evaluator.count_trials(trials, seed, [&](Prng& rng, std::size_t) {
+    const Permutation input = random_permutation(net.width(), rng);
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    std::size_t first_sorted = depth + 1;
+    if (is_sorted_output(values)) {
+      first_sorted = 0;
+    } else {
+      for (std::size_t l = 0; l < depth; ++l) {
+        net.evaluate_levels_in_place(l, l + 1, std::span<wire_t>(values));
+        if (is_sorted_output(values)) {
+          first_sorted = l + 1;
+          break;
+        }
+      }
+    }
+    std::scoped_lock lock(merge_mutex);
+    ++profile.histogram[first_sorted];
+    return false;
+  });
+
+  double total = 0.0;
+  for (std::size_t l = 0; l < profile.histogram.size(); ++l)
+    total += static_cast<double>(l) * static_cast<double>(profile.histogram[l]);
+  profile.mean = trials == 0 ? 0.0 : total / static_cast<double>(trials);
+  return profile;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,49 @@
+// Average-case sorting depth (Section 5).
+//
+// The paper defines the average-case complexity of a network as the
+// average, over all inputs, of the first level at which the input
+// "becomes sorted" (agrees with a fixed assignment of ranks to the wires
+// at that level and stays put thereafter). For monotone networks - every
+// comparator ascending, like Batcher's odd-even merge sort - sortedness
+// in wire order is absorbing, so "first level with sorted contents" is
+// exactly that quantity with the identity rank assignment.
+//
+// Section 5's point: random inputs get sorted far before worst-case
+// inputs do, which is why the Omega(lg^2 n / lg lg n) bound cannot extend
+// to average-case complexity. profile_first_sorted_level measures this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comparator_network.hpp"
+#include "sim/batch.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+struct DepthProfile {
+  /// histogram[l] = number of sampled inputs first sorted after level l
+  /// (l = 0 means already sorted at the input). Inputs never sorted count
+  /// under histogram[depth+1] - for a sorting network that bucket is 0.
+  std::vector<std::size_t> histogram;
+  std::size_t trials = 0;
+  double mean = 0.0;
+
+  std::size_t never_sorted() const {
+    return histogram.empty() ? 0 : histogram.back();
+  }
+};
+
+/// Samples `trials` random permutation inputs, runs them level by level
+/// through `net` (which must be monotone: all comparators CompareAsc and
+/// no exchanges - throws otherwise), and records the first level after
+/// which the contents are the identity.
+DepthProfile profile_first_sorted_level(BatchEvaluator& evaluator,
+                                        const ComparatorNetwork& net,
+                                        std::size_t trials, std::uint64_t seed);
+
+/// True iff every gate is an ascending comparator (no Desc, no Exchange).
+bool is_monotone(const ComparatorNetwork& net);
+
+}  // namespace shufflebound

@@ -1,0 +1,72 @@
+#include "analysis/representative.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/bitparallel.hpp"
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+std::vector<std::uint32_t> random_zero_one_vectors(wire_t n,
+                                                   std::size_t count,
+                                                   Prng& rng) {
+  if (n > 30)
+    throw std::invalid_argument("random_zero_one_vectors: n too large");
+  const std::uint64_t universe = std::uint64_t{1} << n;
+  if (count > universe)
+    throw std::invalid_argument("random_zero_one_vectors: count > 2^n");
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(count);
+  while (chosen.size() < count)
+    chosen.insert(static_cast<std::uint32_t>(rng.below(universe)));
+  return {chosen.begin(), chosen.end()};
+}
+
+bool sorts_vectors(const RegisterNetwork& net,
+                   std::span<const std::uint32_t> tests) {
+  const wire_t n = net.width();
+  for (std::size_t base = 0; base < tests.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, tests.size() - base);
+    std::vector<std::uint64_t> words(n, 0);
+    for (wire_t w = 0; w < n; ++w) {
+      std::uint64_t word = 0;
+      for (std::size_t s = 0; s < batch; ++s)
+        word |= static_cast<std::uint64_t>((tests[base + s] >> w) & 1u) << s;
+      words[w] = word;
+    }
+    evaluate_packed(net, words);
+    std::uint64_t bad = 0;
+    for (wire_t w = 0; w + 1 < n; ++w) bad |= words[w] & ~words[w + 1];
+    if (batch < 64) bad &= (std::uint64_t{1} << batch) - 1;
+    if (bad != 0) return false;
+  }
+  return true;
+}
+
+PruneResult prune_for_test_set(const RegisterNetwork& net,
+                               std::span<const std::uint32_t> tests) {
+  PruneResult result;
+  result.comparators_before = net.comparator_count();
+  RegisterNetwork current(net.width());
+  for (const RegisterStep& step : net.steps()) current.add_step(step);
+
+  for (std::size_t s = 0; s < current.depth(); ++s) {
+    for (std::size_t k = 0; k < current.step(s).ops.size(); ++k) {
+      if (!is_comparator(current.step(s).ops[k])) continue;
+      // Tentatively neutralize this comparator.
+      RegisterNetwork candidate(net.width());
+      for (std::size_t t = 0; t < current.depth(); ++t) {
+        RegisterStep step = current.step(t);
+        if (t == s) step.ops[k] = GateOp::Passthrough;
+        candidate.add_step(std::move(step));
+      }
+      if (sorts_vectors(candidate, tests)) current = std::move(candidate);
+    }
+  }
+  result.comparators_after = current.comparator_count();
+  result.network = std::move(current);
+  return result;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,48 @@
+// The Section 5 "representative set" discussion, executable.
+//
+// The 0-1 principle needs all 2^n boolean vectors; Section 5 proves no
+// polynomial-size subset can be "representative" for shuffle-based
+// networks (else the lower bound would collapse). This module exhibits
+// the phenomenon constructively: given a test set T of 0/1 vectors,
+// greedily prune a known sorter's comparators while it keeps sorting all
+// of T. For poly-size T the pruned network passes every test yet is not
+// a sorting network - and the paper's adversary still refutes it with a
+// certificate, which is exactly the sense in which small test sets prove
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/register_network.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+/// `count` distinct 0/1 vectors over n <= 30 wires, drawn uniformly
+/// without replacement (bit w of an element = the value fed to wire w).
+std::vector<std::uint32_t> random_zero_one_vectors(wire_t n,
+                                                   std::size_t count,
+                                                   Prng& rng);
+
+/// Does the network sort every vector of `tests` (0s before 1s in
+/// register order)? Bit-parallel: 64 test vectors per pass.
+bool sorts_vectors(const RegisterNetwork& net,
+                   std::span<const std::uint32_t> tests);
+
+struct PruneResult {
+  RegisterNetwork network;           // passes every test in T
+  std::size_t comparators_before = 0;
+  std::size_t comparators_after = 0;
+};
+
+/// Greedily turns comparators into "0" elements, front to back, keeping
+/// each removal only if the network still sorts all of `tests`. The
+/// result is the executable form of "a network that passes the test set
+/// T"; whether it is a true sorter is for the caller to determine (it is
+/// iff T was representative enough).
+PruneResult prune_for_test_set(const RegisterNetwork& net,
+                               std::span<const std::uint32_t> tests);
+
+}  // namespace shufflebound

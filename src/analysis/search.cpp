@@ -1,0 +1,273 @@
+#include "analysis/search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared machinery: a "state" is the set of register-content 0/1 vectors
+// reachable from all 2^n inputs after the steps so far. One shuffle step
+// with op vector `ops` maps each content vector deterministically.
+// ---------------------------------------------------------------------
+
+/// Applies one shuffle step to a packed content vector (bit j = register
+/// j's value).
+std::uint32_t step_vector(std::uint32_t v, const std::vector<GateOp>& ops,
+                          const std::vector<wire_t>& shuffle, wire_t n) {
+  std::uint32_t shuffled = 0;
+  for (wire_t j = 0; j < n; ++j)
+    shuffled |= ((v >> j) & 1u) << shuffle[j];
+  for (std::size_t k = 0; 2 * k + 1 < n; ++k) {
+    const std::uint32_t a = (shuffled >> (2 * k)) & 1u;
+    const std::uint32_t b = (shuffled >> (2 * k + 1)) & 1u;
+    std::uint32_t na = a, nb = b;
+    switch (ops[k]) {
+      case GateOp::CompareAsc:
+        na = a & b;
+        nb = a | b;
+        break;
+      case GateOp::CompareDesc:
+        na = a | b;
+        nb = a & b;
+        break;
+      case GateOp::Exchange:
+        std::swap(na, nb);
+        break;
+      case GateOp::Passthrough:
+        break;
+    }
+    shuffled &= ~((1u << (2 * k)) | (1u << (2 * k + 1)));
+    shuffled |= (na << (2 * k)) | (nb << (2 * k + 1));
+  }
+  return shuffled;
+}
+
+std::vector<GateOp> decode_ops(std::uint32_t code, wire_t n) {
+  std::vector<GateOp> ops(n / 2);
+  for (auto& op : ops) {
+    switch (code & 3u) {
+      case 0:
+        op = GateOp::CompareAsc;
+        break;
+      case 1:
+        op = GateOp::CompareDesc;
+        break;
+      case 2:
+        op = GateOp::Exchange;
+        break;
+      default:
+        op = GateOp::Passthrough;
+        break;
+    }
+    code >>= 2;
+  }
+  return ops;
+}
+
+/// Bitmask over all 2^n content vectors that are sorted ascending in
+/// register order (0s then 1s).
+std::uint64_t sorted_mask(wire_t n) {
+  std::uint64_t mask = 0;
+  for (wire_t ones = 0; ones <= n; ++ones) {
+    const std::uint32_t v =
+        ones == 0 ? 0u
+                  : (((1u << ones) - 1u) << (n - ones));
+    mask |= std::uint64_t{1} << v;
+  }
+  return mask;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Exact search (n <= 5: states are 64-bit masks over the 2^n vectors).
+// ---------------------------------------------------------------------
+
+std::optional<MinDepthResult> exact_min_depth_shuffle_sorter(
+    wire_t n, std::size_t max_depth) {
+  if (!is_pow2(n) || n < 2 || n > 5)
+    throw std::invalid_argument(
+        "exact_min_depth_shuffle_sorter: n must be 2 or 4");
+  const std::uint32_t d = log2_exact(n);
+  (void)d;
+  const Permutation pi = shuffle_permutation(n);
+  const std::vector<wire_t> shuffle(pi.image().begin(), pi.image().end());
+  const std::uint64_t goal_complement = ~sorted_mask(n);
+  const std::uint32_t op_codes = 1u << (2 * (n / 2));
+
+  // Precompute, per op code, the full vector transition table.
+  const std::uint32_t vector_count = 1u << n;
+  std::vector<std::vector<std::uint32_t>> transition(op_codes);
+  for (std::uint32_t code = 0; code < op_codes; ++code) {
+    const auto ops = decode_ops(code, n);
+    transition[code].resize(vector_count);
+    for (std::uint32_t v = 0; v < vector_count; ++v)
+      transition[code][v] = step_vector(v, ops, shuffle, n);
+  }
+  const auto apply = [&](std::uint64_t state, std::uint32_t code) {
+    std::uint64_t next = 0;
+    for (std::uint32_t v = 0; v < vector_count; ++v)
+      if (state >> v & 1u) next |= std::uint64_t{1} << transition[code][v];
+    return next;
+  };
+
+  std::uint64_t start = 0;
+  for (std::uint32_t v = 0; v < vector_count; ++v)
+    start |= std::uint64_t{1} << v;
+
+  // Iterative deepening with a "fails within depth r" memo.
+  std::unordered_map<std::uint64_t, std::size_t> fails_within;
+  std::vector<std::uint32_t> chosen;
+  const std::function<bool(std::uint64_t, std::size_t)> solve =
+      [&](std::uint64_t state, std::size_t remaining) -> bool {
+    if ((state & goal_complement) == 0) return true;
+    if (remaining == 0) return false;
+    const auto memo = fails_within.find(state);
+    if (memo != fails_within.end() && memo->second >= remaining) return false;
+    for (std::uint32_t code = 0; code < op_codes; ++code) {
+      const std::uint64_t next = apply(state, code);
+      if (next == state && remaining > 1) continue;  // no progress
+      chosen.push_back(code);
+      if (solve(next, remaining - 1)) return true;
+      chosen.pop_back();
+    }
+    fails_within[state] = std::max(fails_within[state], remaining);
+    return false;
+  };
+
+  for (std::size_t depth = 0; depth <= max_depth; ++depth) {
+    chosen.clear();
+    if (solve(start, depth)) {
+      MinDepthResult result;
+      result.depth = depth;
+      result.network = RegisterNetwork(n);
+      for (const std::uint32_t code : chosen)
+        result.network.add_shuffle_step(decode_ops(code, n));
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Beam search (n = 8: states are 256-bit masks).
+// ---------------------------------------------------------------------
+
+namespace {
+
+using State8 = std::array<std::uint64_t, 4>;
+
+struct State8Hash {
+  std::size_t operator()(const State8& s) const noexcept {
+    std::uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (const std::uint64_t word : s) {
+      h ^= word + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+void set_bit(State8& s, std::uint32_t v) { s[v >> 6] |= 1ull << (v & 63); }
+
+int unsorted_count(const State8& s, const State8& sorted) {
+  int count = 0;
+  for (int w = 0; w < 4; ++w)
+    count += std::popcount(s[w] & ~sorted[w]);
+  return count;
+}
+
+int distinct_count(const State8& s) {
+  int count = 0;
+  for (int w = 0; w < 4; ++w) count += std::popcount(s[w]);
+  return count;
+}
+
+}  // namespace
+
+std::optional<MinDepthResult> beam_search_shuffle_sorter(
+    wire_t n, std::size_t max_depth, std::size_t beam_width, Prng& rng) {
+  if (n != 8)
+    throw std::invalid_argument("beam_search_shuffle_sorter: n must be 8");
+  const Permutation pi = shuffle_permutation(n);
+  const std::vector<wire_t> shuffle(pi.image().begin(), pi.image().end());
+  const std::uint32_t vector_count = 256;
+  const std::uint32_t op_codes = 256;
+
+  std::vector<std::vector<std::uint8_t>> transition(op_codes);
+  for (std::uint32_t code = 0; code < op_codes; ++code) {
+    const auto ops = decode_ops(code, n);
+    transition[code].resize(vector_count);
+    for (std::uint32_t v = 0; v < vector_count; ++v)
+      transition[code][v] =
+          static_cast<std::uint8_t>(step_vector(v, ops, shuffle, n));
+  }
+  State8 sorted{};
+  for (wire_t ones = 0; ones <= n; ++ones)
+    set_bit(sorted, ones == 0 ? 0u : ((1u << ones) - 1u) << (n - ones));
+
+  struct Candidate {
+    State8 state;
+    std::vector<std::uint32_t> steps;
+    // Primary potential: number of distinct reachable vectors (a sorter
+    // must reach exactly n + 1); tie-break on unsorted vectors.
+    std::pair<int, int> score;
+  };
+  const auto score_of = [&sorted](const State8& s) {
+    return std::make_pair(distinct_count(s), unsorted_count(s, sorted));
+  };
+  State8 start{};
+  for (std::uint32_t v = 0; v < vector_count; ++v) set_bit(start, v);
+  std::vector<Candidate> beam{Candidate{start, {}, score_of(start)}};
+
+  for (std::size_t depth = 1; depth <= max_depth; ++depth) {
+    std::vector<Candidate> next;
+    std::unordered_set<State8, State8Hash> seen;
+    for (const Candidate& candidate : beam) {
+      for (std::uint32_t code = 0; code < op_codes; ++code) {
+        State8 state{};
+        for (std::uint32_t v = 0; v < vector_count; ++v) {
+          if (candidate.state[v >> 6] >> (v & 63) & 1ull)
+            set_bit(state, transition[code][v]);
+        }
+        if (!seen.insert(state).second) continue;
+        Candidate child;
+        child.state = state;
+        child.steps = candidate.steps;
+        child.steps.push_back(code);
+        child.score = score_of(state);
+        if (child.score.second == 0) {
+          MinDepthResult result;
+          result.depth = depth;
+          result.network = RegisterNetwork(n);
+          for (const std::uint32_t c : child.steps)
+            result.network.add_shuffle_step(decode_ops(c, n));
+          return result;
+        }
+        next.push_back(std::move(child));
+      }
+    }
+    if (next.empty()) break;
+    // Keep the best beam_width candidates; shuffle first so ties break
+    // randomly (gives restarts diversity via the caller's rng).
+    shuffle_in_place(next, rng);
+    std::stable_sort(next.begin(), next.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.score < b.score;
+                     });
+    if (next.size() > beam_width) next.resize(beam_width);
+    beam = std::move(next);
+  }
+  return std::nullopt;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,39 @@
+// Searching the space of shuffle-based networks.
+//
+// Knuth's Problem 5.3.4.47 (which the paper answers asymptotically, up
+// to Theta(lg lg n)) asks how deep shuffle-based sorting networks must
+// be. For tiny n the question can be settled *exactly* by exhaustive
+// search over the 4^{n/2} step labelings, with states tracked as sets of
+// 0/1 vectors (the 0-1 principle again: a prefix is a sorter iff it maps
+// every 0/1 vector to a sorted one). For n = 8 the exact search is out
+// of reach, so a beam search over the same state space hunts for good
+// upper bounds instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/register_network.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+struct MinDepthResult {
+  std::size_t depth = 0;
+  RegisterNetwork network;  // a witness sorter of that depth
+};
+
+/// Exact minimum depth of a shuffle-based sorting network on n registers
+/// (n in {2, 4}; the state space for n >= 8 is beyond exhaustive reach).
+/// Returns nullopt if no sorter exists within max_depth.
+std::optional<MinDepthResult> exact_min_depth_shuffle_sorter(
+    wire_t n, std::size_t max_depth);
+
+/// Beam search for a shallow shuffle-based sorter on n = 8 registers;
+/// returns a verified sorter of depth <= max_depth or nullopt. The beam
+/// explores the 256 step labelings from each kept state, ranked by how
+/// many unsorted 0/1 vectors remain.
+std::optional<MinDepthResult> beam_search_shuffle_sorter(
+    wire_t n, std::size_t max_depth, std::size_t beam_width, Prng& rng);
+
+}  // namespace shufflebound

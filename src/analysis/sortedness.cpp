@@ -1,0 +1,50 @@
+#include "analysis/sortedness.hpp"
+
+#include <stdexcept>
+
+namespace shufflebound {
+
+double estimate_sorted_fraction(BatchEvaluator& evaluator,
+                                const ComparatorNetwork& net,
+                                std::size_t trials, std::uint64_t seed) {
+  if (trials == 0) return 0.0;
+  const std::size_t sorted = evaluator.count_sorted_outputs(net, trials, seed);
+  return static_cast<double>(sorted) / static_cast<double>(trials);
+}
+
+ComparatorNetwork drop_one_comparator(const ComparatorNetwork& net,
+                                      std::size_t index) {
+  const std::size_t total = net.comparator_count();
+  if (total == 0)
+    throw std::invalid_argument("drop_one_comparator: no comparators");
+  index %= total;
+  ComparatorNetwork out(net.width());
+  std::size_t seen = 0;
+  for (const Level& level : net.levels()) {
+    Level copy;
+    for (const Gate& g : level.gates) {
+      if (is_comparator(g.op) && seen++ == index) continue;  // drop it
+      copy.gates.push_back(g);
+    }
+    out.add_level(std::move(copy));
+  }
+  return out;
+}
+
+NetworkStats network_stats(const ComparatorNetwork& net) {
+  NetworkStats stats;
+  stats.width = net.width();
+  stats.depth = net.depth();
+  for (const Level& level : net.levels()) {
+    if (level.empty()) ++stats.empty_levels;
+    for (const Gate& g : level.gates) {
+      if (is_comparator(g.op))
+        ++stats.comparators;
+      else if (g.op == GateOp::Exchange)
+        ++stats.exchanges;
+    }
+  }
+  return stats;
+}
+
+}  // namespace shufflebound

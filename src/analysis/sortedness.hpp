@@ -1,0 +1,41 @@
+// Sortedness analysis built on the simulators.
+//
+// * Exact certification via the 0-1 principle (bit-parallel sweep).
+// * Monte-Carlo estimation of the fraction of random permutation inputs a
+//   (possibly non-sorting) network sorts - the quantity behind the
+//   Section 5 discussion of average-case behaviour.
+// * Failure injection helpers used by tests and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "core/comparator_network.hpp"
+#include "sim/batch.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+/// Estimated fraction of random permutation inputs mapped to sorted output.
+double estimate_sorted_fraction(BatchEvaluator& evaluator,
+                                const ComparatorNetwork& net,
+                                std::size_t trials, std::uint64_t seed);
+
+/// Returns a copy of `net` with one comparator gate (chosen by `index`,
+/// modulo the comparator count) replaced by a passthrough - a broken
+/// sorter for failure-detection tests. Throws if the network has no
+/// comparators.
+ComparatorNetwork drop_one_comparator(const ComparatorNetwork& net,
+                                      std::size_t index);
+
+/// Basic structural statistics.
+struct NetworkStats {
+  wire_t width = 0;
+  std::size_t depth = 0;
+  std::size_t comparators = 0;
+  std::size_t exchanges = 0;
+  std::size_t empty_levels = 0;
+};
+NetworkStats network_stats(const ComparatorNetwork& net);
+
+}  // namespace shufflebound

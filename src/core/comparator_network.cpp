@@ -1,0 +1,59 @@
+#include "core/comparator_network.hpp"
+
+namespace shufflebound {
+
+std::size_t ComparatorNetwork::comparator_count() const noexcept {
+  std::size_t count = 0;
+  for (const Level& level : levels_)
+    for (const Gate& g : level.gates)
+      if (is_comparator(g.op)) ++count;
+  return count;
+}
+
+std::size_t ComparatorNetwork::gate_count() const noexcept {
+  std::size_t count = 0;
+  for (const Level& level : levels_) count += level.gates.size();
+  return count;
+}
+
+void ComparatorNetwork::validate_level(const Level& level) const {
+  std::vector<bool> used(width_, false);
+  for (const Gate& g : level.gates) {
+    if (g.hi >= width_)
+      throw std::invalid_argument("ComparatorNetwork: gate endpoint out of range");
+    if (used[g.lo] || used[g.hi])
+      throw std::invalid_argument("ComparatorNetwork: wires shared within a level");
+    if (g.op == GateOp::Passthrough)
+      throw std::invalid_argument(
+          "ComparatorNetwork: passthrough gates must be omitted, not stored");
+    used[g.lo] = used[g.hi] = true;
+  }
+}
+
+void ComparatorNetwork::add_level(Level level) {
+  validate_level(level);
+  levels_.push_back(std::move(level));
+}
+
+void ComparatorNetwork::add_level(std::initializer_list<Gate> gates) {
+  Level level;
+  level.gates.assign(gates);
+  add_level(std::move(level));
+}
+
+void ComparatorNetwork::append(const ComparatorNetwork& tail) {
+  if (tail.width_ != width_)
+    throw std::invalid_argument("ComparatorNetwork::append: width mismatch");
+  levels_.insert(levels_.end(), tail.levels_.begin(), tail.levels_.end());
+}
+
+ComparatorNetwork ComparatorNetwork::slice(std::size_t first,
+                                           std::size_t last) const {
+  if (first > last || last > levels_.size())
+    throw std::out_of_range("ComparatorNetwork::slice: bad level range");
+  ComparatorNetwork out(width_);
+  for (std::size_t li = first; li < last; ++li) out.levels_.push_back(levels_[li]);
+  return out;
+}
+
+}  // namespace shufflebound

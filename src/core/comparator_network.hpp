@@ -1,0 +1,179 @@
+// The circuit model of a comparator network (Section 1 of the paper):
+// an acyclic leveled circuit of two-input comparator elements. Wires are
+// fixed lines 0..n-1; each level applies a set of gates on disjoint wires.
+//
+// Evaluation is generic over the value type and its ordering, because the
+// lower-bound machinery evaluates networks on *pattern symbols*
+// (Definition 3.5) as well as on concrete integer inputs. An Observer can
+// watch every comparison - this is how collision bookkeeping
+// (Definition 3.6) and witness verification are implemented.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/gate.hpp"
+
+namespace shufflebound {
+
+/// No-op observer: the default for plain evaluation.
+struct NullObserver {
+  template <typename T>
+  void on_compare(std::size_t /*level*/, const Gate& /*gate*/, const T& /*lo*/,
+                  const T& /*hi*/) noexcept {}
+};
+
+class ComparatorNetwork {
+ public:
+  ComparatorNetwork() = default;
+  explicit ComparatorNetwork(wire_t width) : width_(width) {}
+
+  wire_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return levels_.size(); }
+  const std::vector<Level>& levels() const noexcept { return levels_; }
+  const Level& level(std::size_t i) const { return levels_.at(i); }
+
+  /// Number of comparator elements ("+" / "-"); exchanges are not counted,
+  /// matching the paper's treatment of 0/1 elements as wiring.
+  std::size_t comparator_count() const noexcept;
+
+  /// Number of all stored gates including exchanges.
+  std::size_t gate_count() const noexcept;
+
+  /// Appends a level. Throws if any gate endpoint is out of range or if two
+  /// gates in the level share a wire.
+  void add_level(Level level);
+
+  /// Appends a level assembled from (a, b, op) triples.
+  void add_level(std::initializer_list<Gate> gates);
+
+  /// Appends another network of the same width (serial composition with the
+  /// identity wire mapping).
+  void append(const ComparatorNetwork& tail);
+
+  /// Evaluates the network on `values` in place.
+  ///
+  /// `less` must be a strict weak ordering on T. For a comparator gate with
+  /// current endpoint values (a at lo, b at hi):
+  ///   CompareAsc  leaves min at lo, max at hi;
+  ///   CompareDesc leaves max at lo, min at hi;
+  /// equal elements are never swapped (relevant for pattern symbols, where
+  /// equal symbols pass through a comparator unchanged).
+  /// The observer's on_compare is invoked for every comparator gate (not
+  /// for exchanges), with the values *before* the gate acts.
+  template <typename T, typename Less = std::less<T>,
+            typename Observer = NullObserver>
+  void evaluate_in_place(std::span<T> values, Less less = {},
+                         Observer&& observer = Observer{}) const {
+    if (values.size() != width_)
+      throw std::invalid_argument("evaluate_in_place: width mismatch");
+    for (std::size_t li = 0; li < levels_.size(); ++li) {
+      for (const Gate& g : levels_[li].gates) {
+        T& a = values[g.lo];
+        T& b = values[g.hi];
+        switch (g.op) {
+          case GateOp::CompareAsc:
+            observer.on_compare(li, g, a, b);
+            if (less(b, a)) std::swap(a, b);
+            break;
+          case GateOp::CompareDesc:
+            observer.on_compare(li, g, a, b);
+            if (less(a, b)) std::swap(a, b);
+            break;
+          case GateOp::Exchange:
+            std::swap(a, b);
+            break;
+          case GateOp::Passthrough:
+            break;
+        }
+      }
+    }
+  }
+
+  /// Convenience: evaluates on a copy and returns the output.
+  template <typename T, typename Less = std::less<T>>
+  std::vector<T> evaluate(std::vector<T> values, Less less = {}) const {
+    evaluate_in_place(std::span<T>(values), less);
+    return values;
+  }
+
+  /// Evaluates only levels [first, last) in place - used by level-stepped
+  /// analyses (average-case depth profiles, the adversary).
+  template <typename T, typename Less = std::less<T>,
+            typename Observer = NullObserver>
+  void evaluate_levels_in_place(std::size_t first, std::size_t last,
+                                std::span<T> values, Less less = {},
+                                Observer&& observer = Observer{}) const {
+    if (values.size() != width_)
+      throw std::invalid_argument("evaluate_levels_in_place: width mismatch");
+    if (first > last || last > levels_.size())
+      throw std::out_of_range("evaluate_levels_in_place: bad level range");
+    for (std::size_t li = first; li < last; ++li) {
+      for (const Gate& g : levels_[li].gates) {
+        T& a = values[g.lo];
+        T& b = values[g.hi];
+        switch (g.op) {
+          case GateOp::CompareAsc:
+            observer.on_compare(li, g, a, b);
+            if (less(b, a)) std::swap(a, b);
+            break;
+          case GateOp::CompareDesc:
+            observer.on_compare(li, g, a, b);
+            if (less(a, b)) std::swap(a, b);
+            break;
+          case GateOp::Exchange:
+            std::swap(a, b);
+            break;
+          case GateOp::Passthrough:
+            break;
+        }
+      }
+    }
+  }
+
+  /// A sub-network consisting of levels [first, last).
+  ComparatorNetwork slice(std::size_t first, std::size_t last) const;
+
+  friend bool operator==(const ComparatorNetwork&,
+                         const ComparatorNetwork&) = default;
+
+ private:
+  void validate_level(const Level& level) const;
+
+  wire_t width_ = 0;
+  std::vector<Level> levels_;
+};
+
+/// Records every pair of *values* compared during an evaluation. This is
+/// the executable form of Definition 3.6: input wires w0, w1 collide under
+/// input pi iff the value pair {pi(w0), pi(w1)} appears here.
+class ComparisonRecorder {
+ public:
+  explicit ComparisonRecorder(std::size_t n) : n_(n), seen_(n * n, false) {}
+
+  template <typename T>
+  void on_compare(std::size_t /*level*/, const Gate& /*gate*/, const T& a,
+                  const T& b) {
+    const auto x = static_cast<std::size_t>(a);
+    const auto y = static_cast<std::size_t>(b);
+    seen_[x * n_ + y] = true;
+    seen_[y * n_ + x] = true;
+  }
+
+  /// Were values a and b ever compared?
+  bool compared(std::size_t a, std::size_t b) const {
+    return seen_.at(a * n_ + b);
+  }
+
+  std::size_t value_count() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<bool> seen_;
+};
+
+}  // namespace shufflebound

@@ -1,0 +1,97 @@
+#include "core/diagram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace shufflebound {
+
+namespace {
+
+char endpoint_char(GateOp op) {
+  switch (op) {
+    case GateOp::CompareAsc:
+      return 'o';
+    case GateOp::CompareDesc:
+      return '^';
+    case GateOp::Exchange:
+      return 'x';
+    case GateOp::Passthrough:
+      return '-';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string to_diagram(const ComparatorNetwork& net) {
+  const wire_t n = net.width();
+  // Rows: 2w for wire w, 2w+1 for the gap below it.
+  const std::size_t rows = n == 0 ? 0 : 2 * static_cast<std::size_t>(n) - 1;
+  std::vector<std::string> canvas(rows);
+
+  const auto append_plain = [&](std::size_t count) {
+    for (std::size_t r = 0; r < rows; ++r)
+      canvas[r].append(count, r % 2 == 0 ? '-' : ' ');
+  };
+
+  append_plain(2);
+  for (const Level& level : net.levels()) {
+    // Greedily pack gates into sub-columns with disjoint vertical spans.
+    std::vector<Gate> gates = level.gates;
+    std::sort(gates.begin(), gates.end(),
+              [](const Gate& a, const Gate& b) { return a.lo < b.lo; });
+    std::vector<std::vector<Gate>> columns;
+    for (const Gate& g : gates) {
+      bool placed = false;
+      for (auto& column : columns) {
+        const bool overlaps =
+            std::any_of(column.begin(), column.end(), [&](const Gate& other) {
+              return g.lo <= other.hi && other.lo <= g.hi;
+            });
+        if (!overlaps) {
+          column.push_back(g);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) columns.push_back({g});
+    }
+    if (columns.empty()) {
+      append_plain(1);  // keep empty levels visible as a plain column
+    }
+    for (const auto& column : columns) {
+      // One character column holding this sub-column's gates.
+      std::string chars(rows, '\0');
+      for (std::size_t r = 0; r < rows; ++r)
+        chars[r] = r % 2 == 0 ? '-' : ' ';
+      for (const Gate& g : column) {
+        chars[2 * g.lo] = endpoint_char(g.op);
+        chars[2 * g.hi] = endpoint_char(g.op);
+        for (std::size_t r = 2 * g.lo + 1; r < 2 * g.hi; ++r)
+          chars[r] = r % 2 == 0 ? '+' : '|';
+      }
+      for (std::size_t r = 0; r < rows; ++r) canvas[r].push_back(chars[r]);
+      append_plain(1);
+    }
+    append_plain(1);
+  }
+
+  // Assemble with wire labels.
+  std::ostringstream out;
+  const int label_width = static_cast<int>(std::to_string(n - 1).size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r % 2 == 0) {
+      out << std::string(static_cast<std::size_t>(label_width) -
+                             std::to_string(r / 2).size(),
+                         ' ')
+          << r / 2 << ' ';
+    } else {
+      out << std::string(static_cast<std::size_t>(label_width) + 1, ' ');
+    }
+    out << canvas[r] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace shufflebound

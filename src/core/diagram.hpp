@@ -1,0 +1,25 @@
+// Knuth-style ASCII diagrams of comparator networks: wires as horizontal
+// lines, one column group per level, comparators as vertical connectors.
+//
+//   0 --o--------
+//       |
+//   1 --o--o-----
+//          |
+//   2 --o--o-----
+//       |
+//   3 --o--------
+//
+// 'o' marks comparator endpoints ('^' the max end of a descending
+// comparator, 'x' exchange ends); used by the CLI's `show` command and
+// the examples.
+#pragma once
+
+#include <string>
+
+#include "core/comparator_network.hpp"
+
+namespace shufflebound {
+
+std::string to_diagram(const ComparatorNetwork& net);
+
+}  // namespace shufflebound

@@ -1,0 +1,81 @@
+// Circuit elements of a comparator network.
+//
+// The paper's register model labels each register pair with an operation
+// from {+, -, 0, 1}:
+//   "+"  compare, smaller value to the first register   -> GateOp::CompareAsc
+//   "-"  compare, larger value to the first register    -> GateOp::CompareDesc
+//   "0"  do nothing                                     -> GateOp::Passthrough
+//   "1"  unconditionally exchange the two values        -> GateOp::Exchange
+//
+// Only CompareAsc / CompareDesc are comparisons: by Definition 3.6, values
+// that meet in a "0" or "1" element do NOT collide.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace shufflebound {
+
+using wire_t = std::uint32_t;
+
+enum class GateOp : std::uint8_t {
+  CompareAsc,   // min to the lower-indexed endpoint ("+")
+  CompareDesc,  // max to the lower-indexed endpoint ("-")
+  Exchange,     // unconditional swap ("1")
+  Passthrough,  // no-op ("0"); never stored in circuit levels
+};
+
+constexpr bool is_comparator(GateOp op) noexcept {
+  return op == GateOp::CompareAsc || op == GateOp::CompareDesc;
+}
+
+constexpr char gate_op_symbol(GateOp op) noexcept {
+  switch (op) {
+    case GateOp::CompareAsc: return '+';
+    case GateOp::CompareDesc: return '-';
+    case GateOp::Exchange: return '1';
+    case GateOp::Passthrough: return '0';
+  }
+  return '?';
+}
+
+/// A two-wire circuit element. Endpoints are stored normalized (lo < hi);
+/// the operation's orientation is expressed relative to `lo`.
+struct Gate {
+  wire_t lo = 0;
+  wire_t hi = 0;
+  GateOp op = GateOp::CompareAsc;
+
+  Gate() = default;
+  Gate(wire_t a, wire_t b, GateOp o) : op(o) {
+    if (a == b) throw std::invalid_argument("Gate: endpoints must differ");
+    if (a < b) {
+      lo = a;
+      hi = b;
+    } else {
+      lo = b;
+      hi = a;
+      // Normalizing swaps the orientation of a comparator.
+      if (op == GateOp::CompareAsc)
+        op = GateOp::CompareDesc;
+      else if (op == GateOp::CompareDesc)
+        op = GateOp::CompareAsc;
+    }
+  }
+
+  friend bool operator==(const Gate&, const Gate&) = default;
+};
+
+/// One level of a comparator network: a set of gates on pairwise-disjoint
+/// wires. Gates are applied conceptually in parallel.
+struct Level {
+  std::vector<Gate> gates;
+
+  bool empty() const noexcept { return gates.empty(); }
+  std::size_t size() const noexcept { return gates.size(); }
+
+  friend bool operator==(const Level&, const Level&) = default;
+};
+
+}  // namespace shufflebound

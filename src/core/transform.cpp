@@ -1,0 +1,55 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace shufflebound {
+
+namespace {
+
+/// For each gate (in level order), the earliest level it can occupy.
+std::vector<std::size_t> asap_levels(const ComparatorNetwork& net,
+                                     std::size_t& depth_out) {
+  std::vector<std::size_t> ready(net.width(), 0);  // next free level per wire
+  std::vector<std::size_t> placement;
+  std::size_t depth = 0;
+  for (const Level& level : net.levels()) {
+    for (const Gate& g : level.gates) {
+      const std::size_t at = std::max(ready[g.lo], ready[g.hi]);
+      placement.push_back(at);
+      ready[g.lo] = ready[g.hi] = at + 1;
+      depth = std::max(depth, at + 1);
+    }
+  }
+  depth_out = depth;
+  return placement;
+}
+
+}  // namespace
+
+ComparatorNetwork compact_levels(const ComparatorNetwork& net) {
+  std::size_t depth = 0;
+  const std::vector<std::size_t> placement = asap_levels(net, depth);
+  std::vector<Level> levels(depth);
+  std::size_t index = 0;
+  for (const Level& level : net.levels())
+    for (const Gate& g : level.gates) levels[placement[index++]].gates.push_back(g);
+  ComparatorNetwork out(net.width());
+  for (Level& level : levels) out.add_level(std::move(level));
+  return out;
+}
+
+ComparatorNetwork strip_empty_levels(const ComparatorNetwork& net) {
+  ComparatorNetwork out(net.width());
+  for (const Level& level : net.levels())
+    if (!level.empty()) out.add_level(level);
+  return out;
+}
+
+std::size_t critical_path_depth(const ComparatorNetwork& net) {
+  std::size_t depth = 0;
+  asap_levels(net, depth);
+  return depth;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,24 @@
+// Structure-preserving circuit transformations.
+//
+// * compact_levels: ASAP re-leveling - every gate moves to the earliest
+//   level where both of its wires are free. Computes the same function
+//   with depth equal to the circuit's critical path (the quantity depth
+//   lower bounds actually constrain; a sparse network's stored leveling
+//   may be much deeper than its critical path).
+// * strip_empty_levels: drops empty levels (useful after slicing or on
+//   padded RDN chunks when the padding is no longer needed).
+// * critical_path_depth: the compacted depth without building the
+//   compacted network.
+#pragma once
+
+#include "core/comparator_network.hpp"
+
+namespace shufflebound {
+
+ComparatorNetwork compact_levels(const ComparatorNetwork& net);
+
+ComparatorNetwork strip_empty_levels(const ComparatorNetwork& net);
+
+std::size_t critical_path_depth(const ComparatorNetwork& net);
+
+}  // namespace shufflebound

@@ -1,0 +1,60 @@
+#include "machine/ascend.hpp"
+
+#include <numbers>
+
+namespace shufflebound {
+
+std::vector<std::complex<double>> fft_on_shuffle(
+    std::vector<std::complex<double>> values) {
+  const wire_t n = static_cast<wire_t>(values.size());
+  const std::uint32_t d = log2_exact(n);
+  if (d == 0) return values;
+
+  // Decimation-in-time with the stages indexed in bit-reversed (rank)
+  // coordinates: machine step t presents position dimension q = d - t,
+  // which is rank bit t - 1 - exactly DIT stage s = t. The stage-s
+  // butterfly on rank pair (r, r + 2^{s-1}) uses the twiddle
+  // w = exp(-2 pi i (r mod 2^{s-1}) / 2^s). Loading the input at its
+  // natural positions makes rank(pos) = bitrev(pos) the output index, so
+  // the result is gathered bit-reversed at the end.
+  ascend_pass<std::complex<double>>(
+      values, [d](std::uint32_t dim, wire_t x, std::complex<double>& a,
+                  std::complex<double>& b) {
+        const std::uint32_t s = d - dim;  // DIT stage, 1-based
+        const auto rank =
+            static_cast<wire_t>(reverse_bits(x, d));  // rank of the low end
+        const std::uint64_t half = std::uint64_t{1} << (s - 1);
+        const double angle = -2.0 * std::numbers::pi *
+                             static_cast<double>(rank % half) /
+                             static_cast<double>(2 * half);
+        const std::complex<double> w =
+            std::polar(1.0, angle);
+        const std::complex<double> wb = w * b;
+        b = a - wb;
+        a = a + wb;
+      });
+
+  std::vector<std::complex<double>> out(n);
+  for (wire_t k = 0; k < n; ++k)
+    out[k] = values[static_cast<wire_t>(reverse_bits(k, d))];
+  return out;
+}
+
+std::vector<std::complex<double>> naive_dft(
+    std::span<const std::complex<double>> values) {
+  const std::size_t n = values.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(j * k % n) /
+                           static_cast<double>(n);
+      sum += values[j] * std::polar(1.0, angle);
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace shufflebound

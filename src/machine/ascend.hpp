@@ -1,0 +1,124 @@
+// The strict-ascend shuffle machine, beyond comparators.
+//
+// The paper's introduction argues that hypercubic networks matter
+// because they "admit elegant and efficient strict ascend algorithms for
+// a wide variety of basic operations (e.g., parallel prefix, FFT)". This
+// module substantiates that remark: a generic machine whose every step
+// shuffles the registers and then applies an arbitrary 2-register
+// operation to each pair - the same Pi_i = shuffle discipline as the
+// comparator networks, with the {+,-,0,1} alphabet generalized to any
+// callable.
+//
+// One full ascend pass = lg n shuffle steps, presenting the original
+// position dimensions in the fixed descending order lg n - 1, ..., 1, 0
+// (see networks/shuffle.hpp for the derivation); equivalently, ASCENDING
+// dimension order in bit-reversed coordinates - which is why the scan
+// and FFT below conjugate with bit reversal exactly the way Stone's
+// classic perfect-shuffle algorithms do.
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "perm/permutation.hpp"
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+/// The original position occupying register r after t shuffles (rotate
+/// right t times within d bits).
+constexpr wire_t position_at_register(wire_t r, std::uint32_t t,
+                                      std::uint32_t d) noexcept {
+  std::uint64_t x = r;
+  for (std::uint32_t i = 0; i < t % (d == 0 ? 1 : d); ++i) x = rotr_bits(x, d);
+  return static_cast<wire_t>(x);
+}
+
+/// One generic ascend pass: for t = 1..lg n, shuffle, then apply
+/// op(dim, x, a, b) to every register pair, where dim = lg n - t is the
+/// position dimension presented at step t, x is the position with bit
+/// `dim` clear, and (a, b) are the values at positions x and x | 2^dim
+/// (in that order; the op mutates them in place). After the pass, values
+/// are back at their original registers (shuffle^{lg n} = identity).
+template <typename T>
+void ascend_pass(
+    std::vector<T>& values,
+    const std::function<void(std::uint32_t, wire_t, T&, T&)>& op) {
+  const wire_t n = static_cast<wire_t>(values.size());
+  const std::uint32_t d = log2_exact(n);
+  const Permutation shuffle = shuffle_permutation(n);
+  std::vector<T> scratch(values.size());
+  for (std::uint32_t t = 1; t <= d; ++t) {
+    for (wire_t j = 0; j < n; ++j) scratch[shuffle[j]] = std::move(values[j]);
+    values.swap(scratch);
+    const std::uint32_t dim = d - t;
+    for (wire_t k = 0; 2 * k + 1 < n; ++k) {
+      const wire_t x = position_at_register(static_cast<wire_t>(2 * k), t, d);
+      op(dim, x, values[2 * k], values[2 * k + 1]);
+    }
+  }
+}
+
+/// Inclusive parallel prefix (scan) with an associative combiner in one
+/// ascend pass: out[i] = combine(v[0], ..., v[i]). Internally runs the
+/// classic hypercube scan in bit-reversed coordinates (the order the
+/// shuffle machine presents its dimensions in).
+template <typename T, typename Combine>
+std::vector<T> prefix_scan_on_shuffle(const std::vector<T>& values,
+                                      Combine combine) {
+  const wire_t n = static_cast<wire_t>(values.size());
+  const std::uint32_t d = log2_exact(n);
+  struct State {
+    T prefix;
+    T total;
+  };
+  // Load v[i] at position bitrev(i): rank(pos) = bitrev(pos) = i recovers
+  // the input order, in which the machine's dimension order is ascending.
+  std::vector<State> state(n, State{values[0], values[0]});
+  for (wire_t i = 0; i < n; ++i) {
+    const auto pos = static_cast<wire_t>(reverse_bits(i, d));
+    state[pos] = State{values[i], values[i]};
+  }
+  ascend_pass<State>(state, [&combine](std::uint32_t, wire_t, State& a,
+                                       State& b) {
+    // a (bit clear) precedes b in rank order.
+    b.prefix = combine(a.total, b.prefix);
+    const T total = combine(a.total, b.total);
+    a.total = total;
+    b.total = total;
+  });
+  std::vector<T> out;
+  out.reserve(n);
+  for (wire_t i = 0; i < n; ++i)
+    out.push_back(state[static_cast<wire_t>(reverse_bits(i, d))].prefix);
+  return out;
+}
+
+/// Total reduction in one ascend pass.
+template <typename T, typename Combine>
+T reduce_on_shuffle(std::vector<T> values, Combine combine) {
+  log2_exact(values.size());
+  ascend_pass<T>(values,
+                 [&combine](std::uint32_t, wire_t, T& a, T& b) {
+                   const T total = combine(a, b);
+                   a = total;
+                   b = total;
+                 });
+  return values.at(0);
+}
+
+/// Radix-2 FFT on the shuffle machine: one ascend pass of lg n butterfly
+/// steps (Stone's perfect-shuffle FFT, up to coordinate conventions).
+/// Natural-order input, natural-order output; forward, unnormalized:
+/// out[k] = sum_j v[j] exp(-2 pi i jk / n).
+std::vector<std::complex<double>> fft_on_shuffle(
+    std::vector<std::complex<double>> values);
+
+/// Reference O(n^2) DFT for testing.
+std::vector<std::complex<double>> naive_dft(
+    std::span<const std::complex<double>> values);
+
+}  // namespace shufflebound

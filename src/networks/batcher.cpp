@@ -1,0 +1,54 @@
+#include "networks/batcher.hpp"
+
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+ComparatorNetwork bitonic_sorting_network(wire_t n) {
+  const std::uint32_t d = log2_exact(n);
+  ComparatorNetwork net(n);
+  for (wire_t k = 2; k <= n; k <<= 1) {
+    for (wire_t j = k >> 1; j > 0; j >>= 1) {
+      Level level;
+      for (wire_t i = 0; i < n; ++i) {
+        const wire_t partner = i ^ j;
+        if (partner <= i) continue;
+        // Blocks of size k alternate sort direction; the final pass
+        // (k == n) sorts everything ascending.
+        const bool ascending = (i & k) == 0;
+        level.gates.emplace_back(
+            i, partner, ascending ? GateOp::CompareAsc : GateOp::CompareDesc);
+      }
+      net.add_level(std::move(level));
+    }
+  }
+  (void)d;
+  return net;
+}
+
+ComparatorNetwork odd_even_mergesort_network(wire_t n) {
+  log2_exact(n);  // validate power of two
+  ComparatorNetwork net(n);
+  for (wire_t p = 1; p < n; p <<= 1) {
+    for (wire_t k = p; k >= 1; k >>= 1) {
+      Level level;
+      for (wire_t j = k % p; j + k < n; j += 2 * k) {
+        for (wire_t i = 0; i < k && i + j + k < n; ++i) {
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+            level.gates.emplace_back(i + j, i + j + k, GateOp::CompareAsc);
+          }
+        }
+      }
+      net.add_level(std::move(level));
+      if (k == 1) break;  // wire_t is unsigned; avoid wraparound
+    }
+  }
+  return net;
+}
+
+std::size_t batcher_depth(wire_t n) {
+  const std::size_t d = log2_exact(n);
+  return d * (d + 1) / 2;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,25 @@
+// Batcher's sorting networks (the paper's Theta(lg^2 n)-depth upper bound).
+//
+// * bitonic_sorting_network: the classic bitonic sorter; depth
+//   lg n (lg n + 1)/2. Comparator directions alternate by block, per
+//   Batcher's original construction.
+// * odd_even_mergesort_network: Batcher's odd-even merge sort; same depth,
+//   but every comparator is ascending (min to the lower wire), which makes
+//   "sortedness is absorbing" hold level by level - the property the
+//   average-case depth profile of Section 5 needs.
+#pragma once
+
+#include "core/comparator_network.hpp"
+
+namespace shufflebound {
+
+/// Bitonic sorting network on n = 2^d wires sorting ascending.
+ComparatorNetwork bitonic_sorting_network(wire_t n);
+
+/// Batcher odd-even merge sort on n = 2^d wires; all comparators ascending.
+ComparatorNetwork odd_even_mergesort_network(wire_t n);
+
+/// Closed form for the depth of both Batcher networks: lg n (lg n + 1)/2.
+std::size_t batcher_depth(wire_t n);
+
+}  // namespace shufflebound

@@ -1,0 +1,79 @@
+#include "networks/classic.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+ComparatorNetwork odd_even_transposition_network(wire_t n,
+                                                 std::size_t rounds) {
+  ComparatorNetwork net(n);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Level level;
+    for (wire_t i = static_cast<wire_t>(r % 2); i + 1 < n; i += 2)
+      level.gates.emplace_back(i, i + 1, GateOp::CompareAsc);
+    net.add_level(std::move(level));
+  }
+  return net;
+}
+
+ComparatorNetwork brick_sorter(wire_t n) {
+  return odd_even_transposition_network(n, n);
+}
+
+ComparatorNetwork pratt_shellsort_network(wire_t n) {
+  log2_exact(n);
+  // All increments 2^p 3^q < n, decreasing.
+  std::vector<wire_t> increments;
+  for (wire_t two = 1; two < n; two *= 2)
+    for (wire_t h = two; h < n; h *= 3) increments.push_back(h);
+  std::sort(increments.rbegin(), increments.rend());
+
+  ComparatorNetwork net(n);
+  for (const wire_t h : increments) {
+    // One h-sorting pass; gates (i, i+h) conflict on shared wires when
+    // h < n/2, so split into two phases by floor(i/h) parity.
+    for (const wire_t parity : {0u, 1u}) {
+      Level level;
+      for (wire_t i = 0; i + h < n; ++i)
+        if ((i / h) % 2 == parity)
+          level.gates.emplace_back(i, i + h, GateOp::CompareAsc);
+      if (!level.empty() || parity == 0) net.add_level(std::move(level));
+    }
+  }
+  return net;
+}
+
+ComparatorNetwork balanced_block(wire_t n) {
+  const std::uint32_t d = log2_exact(n);
+  ComparatorNetwork net(n);
+  for (std::uint32_t t = 1; t <= d; ++t) {
+    const wire_t size = n >> (t - 1);
+    Level level;
+    for (wire_t base = 0; base < n; base += size)
+      for (wire_t i = 0; 2 * i + 1 < size; ++i)
+        level.gates.emplace_back(base + i, base + size - 1 - i,
+                                 GateOp::CompareAsc);
+    net.add_level(std::move(level));
+  }
+  return net;
+}
+
+ComparatorNetwork periodic_balanced_sorter(wire_t n) {
+  const std::uint32_t d = log2_exact(n);
+  ComparatorNetwork net(n);
+  const ComparatorNetwork block = balanced_block(n);
+  for (std::uint32_t i = 0; i < d; ++i) net.append(block);
+  return net;
+}
+
+ComparatorNetwork reversed_balanced_block(wire_t n) {
+  const ComparatorNetwork block = balanced_block(n);
+  ComparatorNetwork net(n);
+  for (std::size_t t = block.depth(); t-- > 0;) net.add_level(block.level(t));
+  return net;
+}
+
+}  // namespace shufflebound

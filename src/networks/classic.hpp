@@ -1,0 +1,47 @@
+// Classic sorting-network families beyond Batcher's, used as baselines
+// and as structural contrasts for the lower bound:
+//
+// * odd-even transposition ("brick wall"): depth n, the simplest sorter.
+// * Pratt's Shellsort network (increments 2^p 3^q): depth O(lg^2 n) with
+//   monotonically decreasing increments - the class Cypher's lower bound
+//   [3] (cited in the paper's introduction) addresses.
+// * the periodic balanced sorting network (Dowd-Perl-Rudolph-Saks): lg n
+//   identical blocks of lg n levels. Each block is a *delta* network -
+//   the time-reversal of a reverse delta network - so the paper's
+//   adversary does NOT apply to it even though it, too, iterates one
+//   fixed lg n-level pattern. The contrast is exercised in tests: the
+//   RDN recognizer rejects the balanced block but accepts its reversal.
+#pragma once
+
+#include "core/comparator_network.hpp"
+
+namespace shufflebound {
+
+/// Odd-even transposition network: `rounds` alternating brick levels
+/// (rounds >= n guarantees sorting).
+ComparatorNetwork odd_even_transposition_network(wire_t n, std::size_t rounds);
+
+/// Convenience: the full n-round sorting version.
+ComparatorNetwork brick_sorter(wire_t n);
+
+/// Pratt's Shellsort network: h-sorting passes for every increment of the
+/// form 2^p 3^q < n, in decreasing order; each increment costs two levels
+/// (even/odd phases). n must be a power of two (for uniformity with the
+/// rest of the library; the construction itself would work for any n).
+ComparatorNetwork pratt_shellsort_network(wire_t n);
+
+/// One block of the periodic balanced sorting network: level t (1-based,
+/// t = 1..lg n) mirrors within blocks of size 2^{lg n - t + 1}, i.e.
+/// compares position b + i with position b + (size - 1 - i), min to the
+/// lower index. The block is a delta network.
+ComparatorNetwork balanced_block(wire_t n);
+
+/// The periodic balanced sorting network: lg n consecutive balanced
+/// blocks; depth lg^2 n.
+ComparatorNetwork periodic_balanced_sorter(wire_t n);
+
+/// A block with its levels reversed (an actual reverse delta network; not
+/// a merger of anything useful, but structurally dual to balanced_block).
+ComparatorNetwork reversed_balanced_block(wire_t n);
+
+}  // namespace shufflebound

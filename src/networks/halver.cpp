@@ -1,0 +1,96 @@
+#include "networks/halver.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/bitparallel.hpp"
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+ComparatorNetwork random_matching_halver(wire_t n, std::size_t degree,
+                                         Prng& rng) {
+  if (n < 2 || n % 2 != 0)
+    throw std::invalid_argument("random_matching_halver: n must be even");
+  ComparatorNetwork net(n);
+  const wire_t half = n / 2;
+  std::vector<wire_t> matching(half);
+  for (std::size_t level_index = 0; level_index < degree; ++level_index) {
+    std::iota(matching.begin(), matching.end(), half);
+    shuffle_in_place(matching, rng);
+    Level level;
+    for (wire_t i = 0; i < half; ++i)
+      level.gates.emplace_back(i, matching[i], GateOp::CompareAsc);
+    net.add_level(std::move(level));
+  }
+  return net;
+}
+
+namespace {
+
+/// Worst misplacement ratio across a batch of packed 0-1 vectors.
+double batch_epsilon(const ComparatorNetwork& net,
+                     const std::vector<std::uint32_t>& vectors) {
+  const wire_t n = net.width();
+  const wire_t half = n / 2;
+  double worst = 0.0;
+  for (std::size_t base = 0; base < vectors.size(); base += 64) {
+    const std::size_t batch = std::min<std::size_t>(64, vectors.size() - base);
+    std::vector<std::uint64_t> words(n, 0);
+    for (wire_t w = 0; w < n; ++w) {
+      std::uint64_t word = 0;
+      for (std::size_t s = 0; s < batch; ++s)
+        word |= static_cast<std::uint64_t>((vectors[base + s] >> w) & 1u) << s;
+      words[w] = word;
+    }
+    evaluate_packed(net, words);
+    for (std::size_t s = 0; s < batch; ++s) {
+      const std::uint32_t input = vectors[base + s];
+      const int k = std::popcount(input);  // number of "large" values
+      const int floor_count = std::min(k, static_cast<int>(n) - k);
+      if (floor_count == 0) continue;
+      int ones_lower = 0;
+      int zeros_upper = 0;
+      for (wire_t w = 0; w < n; ++w) {
+        const int bit = static_cast<int>(words[w] >> s & 1);
+        if (w < half)
+          ones_lower += bit;
+        else
+          zeros_upper += 1 - bit;
+      }
+      // k <= n/2: all k ones belong upstairs; misplaced = ones downstairs.
+      // k > n/2: all n-k zeros belong downstairs; misplaced = zeros up.
+      const int misplaced =
+          k <= static_cast<int>(half) ? ones_lower : zeros_upper;
+      worst = std::max(
+          worst, static_cast<double>(misplaced) / floor_count);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+double measure_halver_epsilon_exact(const ComparatorNetwork& net) {
+  const wire_t n = net.width();
+  if (n > 24)
+    throw std::invalid_argument("measure_halver_epsilon_exact: n too large");
+  std::vector<std::uint32_t> all(std::size_t{1} << n);
+  std::iota(all.begin(), all.end(), 0u);
+  return batch_epsilon(net, all);
+}
+
+double measure_halver_epsilon_sampled(const ComparatorNetwork& net,
+                                      std::size_t trials, Prng& rng) {
+  const wire_t n = net.width();
+  std::vector<std::uint32_t> vectors(trials);
+  for (auto& v : vectors) {
+    if (n >= 32) throw std::invalid_argument("sampled epsilon: n too large");
+    v = static_cast<std::uint32_t>(rng.below(std::uint64_t{1} << n));
+  }
+  return batch_epsilon(net, vectors);
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,44 @@
+// Epsilon-halvers: the building block of the AKS O(lg n)-depth sorter.
+//
+// The paper's context (Section 1) is the tension between AKS - optimal
+// depth, impractical constants, irregular topology - and the regular
+// Theta(lg^2 n) networks its lower bound says shuffle-based designs
+// cannot beat by much. DESIGN.md records that AKS itself is out of
+// scope; this module builds its primitive so the tradeoff is tangible:
+//
+// An (n, epsilon)-halver is a comparator network such that, for every
+// input and every k, at most epsilon * min(k, n-k) of the k smallest
+// values end in the upper half (and symmetrically for the largest).
+// Expander-based constant-depth halvers exist; here we build the
+// standard randomized approximation - `degree` levels of random perfect
+// matchings between the two halves - and *measure* epsilon exactly
+// (exhaustively over 0-1 inputs for small n) or by sampling. Quality
+// improves geometrically with degree while depth stays constant: the
+// "constant-depth approximate halving" magic AKS amplifies, and exactly
+// what a strict shuffle discipline cannot reproduce cheaply.
+#pragma once
+
+#include <cstdint>
+
+#include "core/comparator_network.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+/// `degree` levels; each level pairs the lower and upper halves by an
+/// independent uniform matching, comparator directed to send the smaller
+/// value to the lower half.
+ComparatorNetwork random_matching_halver(wire_t n, std::size_t degree,
+                                         Prng& rng);
+
+/// Exact epsilon of a candidate halver over all 0-1 inputs (n <= 24):
+/// the maximum over k of (misplaced small values) / min(k, n-k), where
+/// an input with k ones models the k largest values. Returns 0 for a
+/// perfect halver, 1 for a useless one.
+double measure_halver_epsilon_exact(const ComparatorNetwork& net);
+
+/// Sampled epsilon over `trials` random 0-1 inputs (any n).
+double measure_halver_epsilon_sampled(const ComparatorNetwork& net,
+                                      std::size_t trials, Prng& rng);
+
+}  // namespace shufflebound

@@ -1,0 +1,192 @@
+#include "networks/shuffle.hpp"
+
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+namespace {
+
+/// Rotate the low d bits of x left by s positions.
+std::uint64_t rotl_by(std::uint64_t x, std::uint32_t s, std::uint32_t d) {
+  for (std::uint32_t i = 0; i < s % (d == 0 ? 1 : d); ++i) x = rotl_bits(x, d);
+  return x;
+}
+
+/// The position dimension operable at shuffle step t (1-based): after t
+/// shuffles, register-pair mates differ in position bit (d - t) mod d.
+std::uint32_t dim_at_step(std::size_t t, std::uint32_t d) {
+  return static_cast<std::uint32_t>(d - 1 - ((t - 1) % d));
+}
+
+}  // namespace
+
+ComparatorNetwork dim_program_circuit(wire_t n,
+                                      std::span<const DimStep> program) {
+  const std::uint32_t d = log2_exact(n);
+  ComparatorNetwork net(n);
+  for (const DimStep& step : program) {
+    if (step.dim >= d)
+      throw std::invalid_argument("dim_program_circuit: dim out of range");
+    Level level;
+    for (wire_t x = 0; x < n; ++x) {
+      if (get_bit(x, step.dim) != 0) continue;
+      const GateOp op = step.op(x);
+      if (op == GateOp::Passthrough) continue;
+      level.gates.emplace_back(x, static_cast<wire_t>(flip_bit(x, step.dim)),
+                               op);
+    }
+    net.add_level(std::move(level));
+  }
+  return net;
+}
+
+RegisterNetwork compile_to_shuffle(wire_t n, std::span<const DimStep> program) {
+  const std::uint32_t d = log2_exact(n);
+  RegisterNetwork net(n);
+  const std::vector<GateOp> nops(n / 2, GateOp::Passthrough);
+  std::size_t t = 0;  // shuffle steps emitted so far
+  for (const DimStep& step : program) {
+    if (step.dim >= d)
+      throw std::invalid_argument("compile_to_shuffle: dim out of range");
+    while (dim_at_step(t + 1, d) != step.dim) {
+      net.add_shuffle_step(nops);
+      ++t;
+    }
+    std::vector<GateOp> ops(n / 2, GateOp::Passthrough);
+    for (wire_t x = 0; x < n; ++x) {
+      if (get_bit(x, step.dim) != 0) continue;
+      // After t+1 shuffles, position x sits at register rotl^{t+1}(x),
+      // which is even exactly because bit `dim` of x is clear.
+      const auto reg =
+          static_cast<wire_t>(rotl_by(x, static_cast<std::uint32_t>((t + 1) % d), d));
+      ops[reg / 2] = step.op(x);
+    }
+    net.add_shuffle_step(std::move(ops));
+    ++t;
+  }
+  return net;
+}
+
+std::vector<DimStep> bitonic_dim_program(wire_t n) {
+  log2_exact(n);
+  std::vector<DimStep> program;
+  for (wire_t k = 2; k <= n; k <<= 1) {
+    for (wire_t j = k >> 1; j > 0; j >>= 1) {
+      const std::uint32_t dim = log2_exact(j);
+      program.push_back(DimStep{dim, [k](wire_t x) {
+                                  return (x & k) == 0 ? GateOp::CompareAsc
+                                                      : GateOp::CompareDesc;
+                                }});
+    }
+  }
+  return program;
+}
+
+RegisterNetwork bitonic_on_shuffle(wire_t n) {
+  const auto program = bitonic_dim_program(n);
+  return compile_to_shuffle(n, program);
+}
+
+namespace {
+
+std::vector<GateOp> random_ops(wire_t n, Prng& rng, OpMix mix) {
+  std::vector<GateOp> ops(n / 2);
+  for (auto& op : ops) {
+    const std::uint64_t roll = rng.below(100);
+    if (roll < mix.passthrough_percent) {
+      op = GateOp::Passthrough;
+    } else if (roll < mix.passthrough_percent + mix.exchange_percent) {
+      op = GateOp::Exchange;
+    } else {
+      op = rng.chance(1, 2) ? GateOp::CompareAsc : GateOp::CompareDesc;
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+RegisterNetwork random_shuffle_network(wire_t n, std::size_t depth, Prng& rng,
+                                       OpMix mix) {
+  log2_exact(n);
+  RegisterNetwork net(n);
+  for (std::size_t t = 0; t < depth; ++t)
+    net.add_shuffle_step(random_ops(n, rng, mix));
+  return net;
+}
+
+RegisterNetwork random_shuffle_unshuffle_network(wire_t n, std::size_t depth,
+                                                 Prng& rng, OpMix mix) {
+  log2_exact(n);
+  RegisterNetwork net(n);
+  const Permutation shuffle = shuffle_permutation(n);
+  const Permutation unshuffle = unshuffle_permutation(n);
+  for (std::size_t t = 0; t < depth; ++t) {
+    net.add_step(RegisterStep{rng.chance(1, 2) ? shuffle : unshuffle,
+                              random_ops(n, rng, mix)});
+  }
+  return net;
+}
+
+RegisterNetwork compile_to_shuffle_unshuffle(wire_t n,
+                                             std::span<const DimStep> program) {
+  const std::uint32_t d = log2_exact(n);
+  RegisterNetwork net(n);
+  const Permutation shuffle = shuffle_permutation(n);
+  const Permutation unshuffle = unshuffle_permutation(n);
+  const std::vector<GateOp> nops(n / 2, GateOp::Passthrough);
+
+  // Rotation state r = (#shuffles - #unshuffles) mod d; a step moving to
+  // rotation r' can operate on position dimension (-r') mod d.
+  long r = 0;
+  const auto dim_after = [d](long rotation) {
+    const long m = ((-rotation) % static_cast<long>(d) + d) % d;
+    return static_cast<std::uint32_t>(m);
+  };
+  for (const DimStep& step : program) {
+    if (step.dim >= d)
+      throw std::invalid_argument("compile_to_shuffle_unshuffle: dim range");
+    // Idle-rotate until one more step (either direction) presents dim.
+    while (dim_after(r + 1) != step.dim && dim_after(r - 1) != step.dim) {
+      // Steps needed if we keep going up vs down.
+      std::uint32_t up = 1, down = 1;
+      while (dim_after(r + static_cast<long>(up)) != step.dim) ++up;
+      while (dim_after(r - static_cast<long>(down)) != step.dim) ++down;
+      if (up <= down) {
+        net.add_step(RegisterStep{shuffle, nops});
+        ++r;
+      } else {
+        net.add_step(RegisterStep{unshuffle, nops});
+        --r;
+      }
+    }
+    const bool go_up = dim_after(r + 1) == step.dim;
+    r += go_up ? 1 : -1;
+    const std::uint32_t rr =
+        static_cast<std::uint32_t>(((r % static_cast<long>(d)) + d) % d);
+    std::vector<GateOp> ops(n / 2, GateOp::Passthrough);
+    for (wire_t x = 0; x < n; ++x) {
+      if (get_bit(x, step.dim) != 0) continue;
+      const auto reg = static_cast<wire_t>(rotl_by(x, rr, d));
+      ops[reg / 2] = step.op(x);
+    }
+    net.add_step(RegisterStep{go_up ? shuffle : unshuffle, std::move(ops)});
+  }
+  return net;
+}
+
+RegisterNetwork bitonic_on_shuffle_unshuffle(wire_t n) {
+  const auto program = bitonic_dim_program(n);
+  return compile_to_shuffle_unshuffle(n, program);
+}
+
+bool is_shuffle_unshuffle_based(const RegisterNetwork& net) {
+  if (net.width() == 0) return true;
+  const Permutation shuffle = shuffle_permutation(net.width());
+  const Permutation unshuffle = unshuffle_permutation(net.width());
+  for (const RegisterStep& step : net.steps())
+    if (step.perm != shuffle && step.perm != unshuffle) return false;
+  return true;
+}
+
+}  // namespace shufflebound

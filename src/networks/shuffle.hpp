@@ -1,0 +1,94 @@
+// Compiling hypercubic "dimension-order" algorithms onto shuffle-based
+// networks (Stone's perfect-shuffle technique).
+//
+// The shuffle permutation rotates index bits left, so after t shuffle
+// steps the register pairs (2k, 2k+1) hold values whose *positions*
+// (conceptual circuit wires) differ in bit (d - t) mod d. A network that
+// only ever shuffles can therefore operate on position dimensions in the
+// cyclic descending order d-1, d-2, ..., 1, 0, d-1, ... - the "ascend
+// machine" discipline the paper's introduction refers to. Any program
+// whose dimension sequence is a subsequence of that cycle compiles to a
+// shuffle-based register network, with "0" (do nothing) steps padding the
+// skipped dimensions.
+//
+// Batcher's bitonic sorter is such a program (each merge stage handles
+// dimensions lg k - 1 down to 0), giving the classic lg^2 n-step
+// shuffle-based sorting network - the paper's upper bound in the exact
+// machine model of its lower bound.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/comparator_network.hpp"
+#include "core/register_network.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+/// One step of a dimension-order program: apply, for every position x with
+/// bit `dim` clear, the element op(x) to the position pair {x, x | 2^dim}.
+/// CompareAsc places the minimum at x (the endpoint with the bit clear).
+struct DimStep {
+  std::uint32_t dim = 0;
+  std::function<GateOp(wire_t)> op;  // argument: x with bit `dim` clear
+};
+
+/// Direct circuit form of a dimension-order program: one level per step.
+ComparatorNetwork dim_program_circuit(wire_t n, std::span<const DimStep> program);
+
+/// Compiles a dimension-order program to a shuffle-based register network.
+/// Throws if n is not a power of two or any step's dim is out of range.
+/// Steps are scheduled greedily on the cyclic descending dimension order;
+/// skipped dimensions become all-"0" shuffle steps.
+RegisterNetwork compile_to_shuffle(wire_t n, std::span<const DimStep> program);
+
+/// The dimension-order program of Batcher's bitonic sorter.
+std::vector<DimStep> bitonic_dim_program(wire_t n);
+
+/// Bitonic sort as a shuffle-based register network of exactly lg^2 n
+/// steps (Stone's construction).
+RegisterNetwork bitonic_on_shuffle(wire_t n);
+
+/// Mix of element types for random shuffle-based networks, in percent.
+/// Remaining probability mass is split evenly between "+" and "-".
+struct OpMix {
+  unsigned passthrough_percent = 0;
+  unsigned exchange_percent = 0;
+};
+
+/// A random shuffle-based register network of the given depth: every step
+/// shuffles, and each register pair draws its element from `mix`.
+RegisterNetwork random_shuffle_network(wire_t n, std::size_t depth, Prng& rng,
+                                       OpMix mix = {});
+
+/// A random member of the shuffle-UNSHUFFLE class (each step's
+/// permutation is the shuffle or its inverse, chosen uniformly): the
+/// "ascend-descend" machines of the paper's introduction, for which the
+/// lower bound provably does NOT hold (nearly logarithmic-depth sorting
+/// networks exist in this class [Leighton-Plaxton 90; Plaxton 92]).
+/// Useful as the out-of-scope contrast for the refuter.
+RegisterNetwork random_shuffle_unshuffle_network(wire_t n, std::size_t depth,
+                                                 Prng& rng, OpMix mix = {});
+
+/// True iff every step's permutation is the shuffle or the unshuffle.
+bool is_shuffle_unshuffle_based(const RegisterNetwork& net);
+
+/// Compiles a dimension-order program to a shuffle-UNSHUFFLE network
+/// (each step may rotate either way), greedily taking the shorter
+/// rotation towards each step's dimension. Where the shuffle-only
+/// compiler pays up to lg n - 1 idle steps to wrap around the dimension
+/// cycle, this one pays at most lg n / 2 - the concrete efficiency the
+/// ascend-descend class buys, and the reason the paper's lower bound
+/// provably cannot extend to it (Section 6).
+RegisterNetwork compile_to_shuffle_unshuffle(wire_t n,
+                                             std::span<const DimStep> program);
+
+/// Bitonic sort in the shuffle-unshuffle class: roughly lg^2 n / 2 steps
+/// versus Stone's exact lg^2 n (each merge stage starts one unshuffle
+/// away from where the previous ended instead of wrapping the full
+/// cycle).
+RegisterNetwork bitonic_on_shuffle_unshuffle(wire_t n);
+
+}  // namespace shufflebound

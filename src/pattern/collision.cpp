@@ -1,0 +1,132 @@
+#include "pattern/collision.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace shufflebound {
+
+InputPattern evaluate_pattern(const ComparatorNetwork& net, InputPattern p) {
+  std::vector<PatternSymbol> symbols(p.symbols().begin(), p.symbols().end());
+  net.evaluate_in_place(std::span<PatternSymbol>(symbols));
+  return InputPattern(std::move(symbols));
+}
+
+InputPattern evaluate_pattern(const IteratedRdn& net, InputPattern p) {
+  std::vector<PatternSymbol> symbols(p.symbols().begin(), p.symbols().end());
+  net.evaluate_in_place(symbols);
+  return InputPattern(std::move(symbols));
+}
+
+namespace {
+
+/// Runs one concrete input through a network, recording compared values.
+template <typename Net>
+void run_recorded(const Net& net, const Permutation& input,
+                  ComparisonRecorder& recorder) {
+  std::vector<wire_t> values(input.image().begin(), input.image().end());
+  if constexpr (std::is_same_v<Net, ComparatorNetwork>) {
+    net.evaluate_in_place(std::span<wire_t>(values), std::less<wire_t>{},
+                          recorder);
+  } else {
+    net.evaluate_in_place(values, std::less<wire_t>{}, recorder);
+  }
+}
+
+}  // namespace
+
+template <typename Net>
+void CollisionOracle::run(const Net& net, const InputPattern& p,
+                          std::size_t max_inputs) {
+  n_ = p.size();
+  if (refinement_input_count(p) > max_inputs)
+    throw std::invalid_argument("CollisionOracle: |p[V]| exceeds max_inputs");
+  pair_hits_.assign(static_cast<std::size_t>(n_) * n_, 0);
+  for (const Permutation& input : all_refinement_inputs(p)) {
+    ComparisonRecorder recorder(n_);
+    run_recorded(net, input, recorder);
+    ++inputs_;
+    // Translate compared value pairs back to wire pairs: wire w carries
+    // value input[w].
+    for (wire_t w0 = 0; w0 < n_; ++w0) {
+      for (wire_t w1 = static_cast<wire_t>(w0 + 1); w1 < n_; ++w1) {
+        if (recorder.compared(input[w0], input[w1])) {
+          ++pair_hits_[static_cast<std::size_t>(w0) * n_ + w1];
+        }
+      }
+    }
+  }
+}
+
+CollisionOracle::CollisionOracle(const ComparatorNetwork& net,
+                                 const InputPattern& p,
+                                 std::size_t max_inputs) {
+  run(net, p, max_inputs);
+}
+
+CollisionOracle::CollisionOracle(const IteratedRdn& net, const InputPattern& p,
+                                 std::size_t max_inputs) {
+  run(net, p, max_inputs);
+}
+
+CollisionVerdict CollisionOracle::verdict(wire_t w0, wire_t w1) const {
+  if (w0 == w1) throw std::invalid_argument("CollisionOracle: equal wires");
+  if (w0 > w1) std::swap(w0, w1);
+  const std::uint32_t hits = pair_hits_.at(static_cast<std::size_t>(w0) * n_ + w1);
+  if (hits == 0) return CollisionVerdict::CannotCollide;
+  if (hits == inputs_) return CollisionVerdict::Collide;
+  return CollisionVerdict::CanCollide;
+}
+
+bool CollisionOracle::noncolliding(std::span<const wire_t> wires) const {
+  for (std::size_t a = 0; a < wires.size(); ++a)
+    for (std::size_t b = a + 1; b < wires.size(); ++b)
+      if (verdict(wires[a], wires[b]) != CollisionVerdict::CannotCollide)
+        return false;
+  return true;
+}
+
+bool noncolliding_under_all_linearizations_sample(
+    const ComparatorNetwork& net, const InputPattern& p,
+    std::span<const wire_t> wires, Prng& rng, std::size_t samples) {
+  const wire_t n = p.size();
+  // Group wires by symbol once; each sample shuffles values within groups.
+  std::vector<wire_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](wire_t a, wire_t b) {
+    if (p[a] != p[b]) return p[a] < p[b];
+    return a < b;
+  });
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= order.size(); ++i) {
+    if (i == order.size() || p[order[i]] != p[order[i - 1]]) {
+      groups.emplace_back(start, i);
+      start = i;
+    }
+  }
+  std::vector<wire_t> image(n);
+  for (std::size_t sample = 0; sample < samples; ++sample) {
+    std::vector<wire_t> ranks(n);
+    std::iota(ranks.begin(), ranks.end(), 0u);
+    for (const auto& [lo, hi] : groups) {
+      // Shuffle the rank block [lo, hi).
+      for (std::size_t i = hi - 1; i > lo; --i) {
+        const std::size_t j = lo + rng.below(i - lo + 1);
+        std::swap(ranks[i], ranks[j]);
+      }
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) image[order[i]] = ranks[i];
+    const Permutation input(image);
+    ComparisonRecorder recorder(n);
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    net.evaluate_in_place(std::span<wire_t>(values), std::less<wire_t>{},
+                          recorder);
+    for (std::size_t a = 0; a < wires.size(); ++a)
+      for (std::size_t b = a + 1; b < wires.size(); ++b)
+        if (recorder.compared(input[wires[a]], input[wires[b]])) return false;
+  }
+  return true;
+}
+
+}  // namespace shufflebound

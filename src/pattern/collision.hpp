@@ -1,0 +1,68 @@
+// Collision semantics (Definitions 3.5 - 3.7).
+//
+// * evaluate_pattern: a comparator network applied to an input pattern
+//   (Definition 3.5). Symbol-wise comparator evaluation is exactly the
+//   induced map on patterns: the larger symbol leaves on the max output;
+//   equal symbols pass through unchanged.
+//
+// * CollisionOracle: ground-truth three-valued collision classification by
+//   enumerating every input in p[V] and recording which value pairs each
+//   one compares. Exponential - use for small n (tests, examples); the
+//   adversary itself never needs it, because the proof only queries
+//   collisions in situations where symbol paths are deterministic.
+#pragma once
+
+#include <vector>
+
+#include "core/comparator_network.hpp"
+#include "networks/rdn.hpp"
+#include "pattern/input_pattern.hpp"
+
+namespace shufflebound {
+
+/// Output pattern of a network on an input pattern (Definition 3.5).
+InputPattern evaluate_pattern(const ComparatorNetwork& net, InputPattern p);
+InputPattern evaluate_pattern(const IteratedRdn& net, InputPattern p);
+
+enum class CollisionVerdict : std::uint8_t {
+  Collide,        // compared under every input in p[V]   (Def. 3.7a)
+  CanCollide,     // compared under at least one input    (Def. 3.7b)
+  CannotCollide,  // compared under no input              (Def. 3.7c)
+};
+
+class CollisionOracle {
+ public:
+  /// Enumerates all of p[V] through `net` (up to `max_inputs` inputs;
+  /// throws if |p[V]| exceeds it - raise the cap consciously).
+  CollisionOracle(const ComparatorNetwork& net, const InputPattern& p,
+                  std::size_t max_inputs = 2'000'000);
+  CollisionOracle(const IteratedRdn& net, const InputPattern& p,
+                  std::size_t max_inputs = 2'000'000);
+
+  CollisionVerdict verdict(wire_t w0, wire_t w1) const;
+
+  /// Is the wire set noncolliding (Definition 3.7d): no two wires of
+  /// `wires` can collide?
+  bool noncolliding(std::span<const wire_t> wires) const;
+
+  std::size_t inputs_enumerated() const noexcept { return inputs_; }
+
+ private:
+  template <typename Net>
+  void run(const Net& net, const InputPattern& p, std::size_t max_inputs);
+
+  wire_t n_ = 0;
+  std::size_t inputs_ = 0;
+  std::vector<std::uint32_t> pair_hits_;  // count of inputs comparing (w0,w1)
+};
+
+/// Checks that `wires` is noncolliding in `net` under `p` *without*
+/// enumeration, via the recorded-comparison run of a single linearization
+/// per unordered pair... exponential avoided but sound only when symbol
+/// paths are deterministic; used internally by the adversary's
+/// verification layer. Exposed for tests.
+bool noncolliding_under_all_linearizations_sample(
+    const ComparatorNetwork& net, const InputPattern& p,
+    std::span<const wire_t> wires, Prng& rng, std::size_t samples);
+
+}  // namespace shufflebound

@@ -1,0 +1,70 @@
+#include "pattern/format.hpp"
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace shufflebound {
+
+namespace {
+
+/// Strict decimal parse: nonempty, digits only (no sign, no suffix).
+std::optional<std::uint32_t> parse_u32(const std::string& text) {
+  if (text.empty() || text.size() > 9) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+PatternSymbol symbol_from_text(const std::string& text) {
+  const auto malformed = [&]() -> std::invalid_argument {
+    return std::invalid_argument("malformed pattern symbol: '" + text + "'");
+  };
+  if (text.size() < 2) throw malformed();
+  const char kind = text[0];
+  const std::string rest = text.substr(1);
+  if (kind == 'X') {
+    const auto comma = rest.find(',');
+    if (comma == std::string::npos) throw malformed();
+    const auto i = parse_u32(rest.substr(0, comma));
+    const auto j = parse_u32(rest.substr(comma + 1));
+    if (!i || !j) throw malformed();
+    return sym_X(*i, *j);
+  }
+  const auto index = parse_u32(rest);
+  if (!index) throw malformed();
+  switch (kind) {
+    case 'S':
+      return sym_S(*index);
+    case 'M':
+      return sym_M(*index);
+    case 'L':
+      return sym_L(*index);
+    default:
+      throw malformed();
+  }
+}
+
+std::string to_text(const InputPattern& pattern) {
+  std::ostringstream out;
+  for (wire_t w = 0; w < pattern.size(); ++w) {
+    if (w > 0) out << ' ';
+    out << to_string(pattern[w]);
+  }
+  return out.str();
+}
+
+InputPattern pattern_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<PatternSymbol> symbols;
+  std::string word;
+  while (in >> word) symbols.push_back(symbol_from_text(word));
+  return InputPattern(std::move(symbols));
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,19 @@
+// Textual form of patterns and symbols: "S0 M0 M0 L0", "X2,1" etc.
+// Round-trips with the to_string of symbol.hpp. Used by the CLI, the
+// certificate files, and the examples.
+#pragma once
+
+#include <string>
+
+#include "pattern/input_pattern.hpp"
+
+namespace shufflebound {
+
+/// Parses a single symbol: S<i>, M<i>, L<i>, or X<i>,<j>.
+PatternSymbol symbol_from_text(const std::string& text);
+
+/// "S0 M0 X1,2 L0" (whitespace-separated symbols).
+std::string to_text(const InputPattern& pattern);
+InputPattern pattern_from_text(const std::string& text);
+
+}  // namespace shufflebound

@@ -1,0 +1,169 @@
+#include "pattern/input_pattern.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+namespace shufflebound {
+
+std::vector<wire_t> InputPattern::set_of(PatternSymbol s) const {
+  std::vector<wire_t> out;
+  for (wire_t w = 0; w < symbols_.size(); ++w)
+    if (symbols_[w] == s) out.push_back(w);
+  return out;
+}
+
+std::size_t InputPattern::count_of(PatternSymbol s) const {
+  std::size_t count = 0;
+  for (const PatternSymbol& sym : symbols_)
+    if (sym == s) ++count;
+  return count;
+}
+
+namespace {
+
+/// Wires sorted by `pattern` symbol (ties by wire index), plus the group
+/// boundaries of equal-symbol runs.
+struct SymbolGroups {
+  std::vector<wire_t> order;
+  std::vector<std::size_t> group_start;  // ends with order.size()
+};
+
+SymbolGroups group_by_symbol(const InputPattern& pattern) {
+  SymbolGroups g;
+  g.order.resize(pattern.size());
+  std::iota(g.order.begin(), g.order.end(), 0u);
+  std::sort(g.order.begin(), g.order.end(), [&](wire_t a, wire_t b) {
+    if (pattern[a] != pattern[b]) return pattern[a] < pattern[b];
+    return a < b;
+  });
+  g.group_start.push_back(0);
+  for (std::size_t i = 1; i < g.order.size(); ++i)
+    if (pattern[g.order[i]] != pattern[g.order[i - 1]]) g.group_start.push_back(i);
+  g.group_start.push_back(g.order.size());
+  return g;
+}
+
+}  // namespace
+
+bool refines(const InputPattern& coarse, const InputPattern& fine) {
+  if (coarse.size() != fine.size()) return false;
+  if (coarse.size() == 0) return true;
+  const SymbolGroups groups = group_by_symbol(coarse);
+  // For consecutive coarse groups, every fine symbol of the earlier group
+  // must be strictly below every fine symbol of the later group; by
+  // transitivity of <_P, checking adjacent groups suffices.
+  for (std::size_t g = 0; g + 2 < groups.group_start.size(); ++g) {
+    PatternSymbol max_earlier = fine[groups.order[groups.group_start[g]]];
+    for (std::size_t i = groups.group_start[g]; i < groups.group_start[g + 1]; ++i)
+      max_earlier = std::max(max_earlier, fine[groups.order[i]]);
+    PatternSymbol min_later = fine[groups.order[groups.group_start[g + 1]]];
+    for (std::size_t i = groups.group_start[g + 1]; i < groups.group_start[g + 2];
+         ++i)
+      min_later = std::min(min_later, fine[groups.order[i]]);
+    if (!(max_earlier < min_later)) return false;
+  }
+  return true;
+}
+
+bool refines_to_input(const InputPattern& coarse, const Permutation& fine) {
+  if (coarse.size() != fine.size()) return false;
+  if (coarse.size() == 0) return true;
+  const SymbolGroups groups = group_by_symbol(coarse);
+  for (std::size_t g = 0; g + 2 < groups.group_start.size(); ++g) {
+    wire_t max_earlier = 0;
+    for (std::size_t i = groups.group_start[g]; i < groups.group_start[g + 1]; ++i)
+      max_earlier = std::max(max_earlier, fine[groups.order[i]]);
+    wire_t min_later = fine.size();
+    for (std::size_t i = groups.group_start[g + 1]; i < groups.group_start[g + 2];
+         ++i)
+      min_later = std::min(min_later, fine[groups.order[i]]);
+    if (max_earlier >= min_later) return false;
+  }
+  return true;
+}
+
+bool u_refines(const InputPattern& coarse, const InputPattern& fine,
+               std::span<const wire_t> wires_u) {
+  if (coarse.size() != fine.size()) return false;
+  std::vector<bool> in_u(coarse.size(), false);
+  for (const wire_t w : wires_u) in_u.at(w) = true;
+  for (wire_t w = 0; w < coarse.size(); ++w)
+    if (!in_u[w] && coarse[w] != fine[w]) return false;
+  return refines(coarse, fine);
+}
+
+bool equivalent(const InputPattern& a, const InputPattern& b) {
+  return refines(a, b) && refines(b, a);
+}
+
+Permutation linearize(const InputPattern& pattern,
+                      std::optional<std::pair<wire_t, wire_t>> adjacent) {
+  const wire_t n = pattern.size();
+  if (adjacent) {
+    if (pattern[adjacent->first] != pattern[adjacent->second] ||
+        adjacent->first == adjacent->second)
+      throw std::invalid_argument(
+          "linearize: adjacent wires must be distinct and carry equal symbols");
+  }
+  std::vector<wire_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto priority = [&](wire_t w) -> int {
+    if (!adjacent) return 2;
+    if (w == adjacent->first) return 0;
+    if (w == adjacent->second) return 1;
+    return 2;
+  };
+  std::sort(order.begin(), order.end(), [&](wire_t a, wire_t b) {
+    if (pattern[a] != pattern[b]) return pattern[a] < pattern[b];
+    if (priority(a) != priority(b)) return priority(a) < priority(b);
+    return a < b;
+  });
+  std::vector<wire_t> image(n);
+  for (wire_t rank = 0; rank < n; ++rank) image[order[rank]] = rank;
+  return Permutation(std::move(image));
+}
+
+std::size_t refinement_input_count(const InputPattern& pattern) {
+  const SymbolGroups groups = group_by_symbol(pattern);
+  std::size_t total = 1;
+  for (std::size_t g = 0; g + 1 < groups.group_start.size(); ++g) {
+    const std::size_t size = groups.group_start[g + 1] - groups.group_start[g];
+    for (std::size_t f = 2; f <= size; ++f) {
+      if (total > SIZE_MAX / f) return SIZE_MAX;
+      total *= f;
+    }
+  }
+  return total;
+}
+
+std::vector<Permutation> all_refinement_inputs(const InputPattern& pattern) {
+  const wire_t n = pattern.size();
+  const SymbolGroups groups = group_by_symbol(pattern);
+  std::vector<Permutation> result;
+  std::vector<wire_t> image(n, 0);
+
+  // Depth-first product over per-group value assignments: group g owns the
+  // value block [group_start[g], group_start[g+1]).
+  const std::size_t group_count = groups.group_start.size() - 1;
+  const std::function<void(std::size_t)> assign = [&](std::size_t g) {
+    if (g == group_count) {
+      result.emplace_back(image);
+      return;
+    }
+    const std::size_t lo = groups.group_start[g];
+    const std::size_t hi = groups.group_start[g + 1];
+    std::vector<wire_t> values(hi - lo);
+    std::iota(values.begin(), values.end(), static_cast<wire_t>(lo));
+    do {
+      for (std::size_t i = lo; i < hi; ++i)
+        image[groups.order[i]] = values[i - lo];
+      assign(g + 1);
+    } while (std::next_permutation(values.begin(), values.end()));
+  };
+  assign(0);
+  return result;
+}
+
+}  // namespace shufflebound

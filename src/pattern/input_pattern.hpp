@@ -1,0 +1,83 @@
+// Input patterns and refinement (Definitions 3.1 - 3.3).
+//
+// An input pattern assigns a pattern symbol to every input wire; it stands
+// for the set p[V] of inputs (permutations of {0..n-1}) whose value order
+// respects the symbol order: p(w) <_P p(w')  =>  pi(w) < pi(w').
+//
+// Refinement p0 =>_W p1 imposes additional ordering constraints; it holds
+// iff p1's symbol order refines p0's, equivalently p0[V] contains p1[V].
+// U-refinement additionally freezes every wire outside U.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pattern/symbol.hpp"
+#include "perm/permutation.hpp"
+
+namespace shufflebound {
+
+class InputPattern {
+ public:
+  InputPattern() = default;
+
+  /// Constant pattern: every one of `n` wires carries `fill`.
+  explicit InputPattern(wire_t n, PatternSymbol fill = sym_M(0))
+      : symbols_(n, fill) {}
+
+  explicit InputPattern(std::vector<PatternSymbol> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  wire_t size() const noexcept { return static_cast<wire_t>(symbols_.size()); }
+
+  PatternSymbol operator[](wire_t w) const { return symbols_.at(w); }
+  void set(wire_t w, PatternSymbol s) { symbols_.at(w) = s; }
+
+  std::span<const PatternSymbol> symbols() const noexcept { return symbols_; }
+  std::vector<PatternSymbol>& mutable_symbols() noexcept { return symbols_; }
+
+  /// The [P]-set of this pattern: wires carrying exactly symbol `s`.
+  std::vector<wire_t> set_of(PatternSymbol s) const;
+
+  /// Number of wires carrying exactly symbol `s`.
+  std::size_t count_of(PatternSymbol s) const;
+
+  friend bool operator==(const InputPattern&, const InputPattern&) = default;
+
+ private:
+  std::vector<PatternSymbol> symbols_;
+};
+
+/// Does `coarse` refine to `fine` (coarse =>_W fine)?  O(n lg n).
+bool refines(const InputPattern& coarse, const InputPattern& fine);
+
+/// Does `coarse` refine to the concrete input `fine` (Definition 3.1(c))?
+bool refines_to_input(const InputPattern& coarse, const Permutation& fine);
+
+/// U-refinement (Definition 3.2): refines() and equality outside `wires_u`.
+bool u_refines(const InputPattern& coarse, const InputPattern& fine,
+               std::span<const wire_t> wires_u);
+
+/// Are the two patterns equivalent (each refines the other), i.e. equal up
+/// to an order-preserving renaming?
+bool equivalent(const InputPattern& a, const InputPattern& b);
+
+/// Refines a pattern to a concrete input permutation: wires are ranked by
+/// symbol, ties broken by wire index, and values 0..n-1 assigned in that
+/// order. If `adjacent` = (w0, w1) is given, both wires must carry equal
+/// symbols and receive consecutive values m, m+1 (w0 gets m).
+Permutation linearize(const InputPattern& pattern,
+                      std::optional<std::pair<wire_t, wire_t>> adjacent =
+                          std::nullopt);
+
+/// All refinements of `pattern` to concrete inputs, i.e. the set p[V]
+/// (Definition 3.1). Exponential in group sizes; intended for small n.
+std::vector<Permutation> all_refinement_inputs(const InputPattern& pattern);
+
+/// Number of elements of p[V] (product of factorials of the symbol-group
+/// sizes); saturates at SIZE_MAX.
+std::size_t refinement_input_count(const InputPattern& pattern);
+
+}  // namespace shufflebound

@@ -1,0 +1,107 @@
+#include "perm/permutation.hpp"
+
+#include <numeric>
+
+namespace shufflebound {
+
+Permutation Permutation::identity(wire_t n) {
+  std::vector<wire_t> image(n);
+  std::iota(image.begin(), image.end(), 0u);
+  return Permutation(std::move(image));
+}
+
+Permutation::Permutation(std::vector<wire_t> image) : image_(std::move(image)) {
+  std::vector<bool> seen(image_.size(), false);
+  for (const wire_t target : image_) {
+    if (target >= image_.size() || seen[target])
+      throw std::invalid_argument("Permutation: image table is not a bijection");
+    seen[target] = true;
+  }
+}
+
+Permutation Permutation::then(const Permutation& b) const {
+  if (b.size() != size())
+    throw std::invalid_argument("Permutation::then: size mismatch");
+  std::vector<wire_t> image(image_.size());
+  for (std::size_t j = 0; j < image_.size(); ++j) image[j] = b.image_[image_[j]];
+  return Permutation(std::move(image));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<wire_t> image(image_.size());
+  for (std::size_t j = 0; j < image_.size(); ++j)
+    image[image_[j]] = static_cast<wire_t>(j);
+  return Permutation(std::move(image));
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (std::size_t j = 0; j < image_.size(); ++j)
+    if (image_[j] != j) return false;
+  return true;
+}
+
+std::vector<std::vector<wire_t>> Permutation::cycles() const {
+  std::vector<std::vector<wire_t>> result;
+  std::vector<bool> visited(image_.size(), false);
+  for (wire_t start = 0; start < image_.size(); ++start) {
+    if (visited[start]) continue;
+    std::vector<wire_t> cycle;
+    wire_t j = start;
+    do {
+      visited[j] = true;
+      cycle.push_back(j);
+      j = image_[j];
+    } while (j != start);
+    result.push_back(std::move(cycle));
+  }
+  return result;
+}
+
+int Permutation::parity() const {
+  // Parity = (-1)^(n - #cycles).
+  std::size_t cycle_count = 0;
+  std::vector<bool> visited(image_.size(), false);
+  for (wire_t start = 0; start < image_.size(); ++start) {
+    if (visited[start]) continue;
+    ++cycle_count;
+    wire_t j = start;
+    do {
+      visited[j] = true;
+      j = image_[j];
+    } while (j != start);
+  }
+  return ((image_.size() - cycle_count) % 2 == 0) ? 1 : -1;
+}
+
+Permutation shuffle_permutation(wire_t n) {
+  const std::uint32_t d = log2_exact(n);
+  std::vector<wire_t> image(n);
+  for (wire_t j = 0; j < n; ++j)
+    image[j] = static_cast<wire_t>(rotl_bits(j, d));
+  return Permutation(std::move(image));
+}
+
+Permutation unshuffle_permutation(wire_t n) {
+  const std::uint32_t d = log2_exact(n);
+  std::vector<wire_t> image(n);
+  for (wire_t j = 0; j < n; ++j)
+    image[j] = static_cast<wire_t>(rotr_bits(j, d));
+  return Permutation(std::move(image));
+}
+
+Permutation bit_reversal_permutation(wire_t n) {
+  const std::uint32_t d = log2_exact(n);
+  std::vector<wire_t> image(n);
+  for (wire_t j = 0; j < n; ++j)
+    image[j] = static_cast<wire_t>(reverse_bits(j, d));
+  return Permutation(std::move(image));
+}
+
+Permutation random_permutation(wire_t n, Prng& rng) {
+  std::vector<wire_t> image(n);
+  std::iota(image.begin(), image.end(), 0u);
+  shuffle_in_place(image, rng);
+  return Permutation(std::move(image));
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,152 @@
+#include "routing/benes.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "networks/shuffle.hpp"
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+std::size_t benes_depth(wire_t n) { return 2 * log2_exact(n) - 1; }
+
+namespace {
+
+/// Routes the local permutation `perm` (value entering local position i
+/// must leave at local position perm[i]) over the wire list `wires`,
+/// emitting Exchange gates into levels [level_lo, level_hi] (inclusive).
+void route_recursive(std::span<const wire_t> wires,
+                     std::vector<wire_t> perm, std::size_t level_lo,
+                     std::size_t level_hi, std::vector<Level>& levels) {
+  const std::size_t m = wires.size();
+  if (m == 2) {
+    if (perm[0] == 1) {
+      levels[level_lo].gates.emplace_back(wires[0], wires[1], GateOp::Exchange);
+    }
+    return;
+  }
+  const std::size_t h = m / 2;
+  std::vector<std::size_t> inv(m);
+  for (std::size_t i = 0; i < m; ++i) inv[perm[i]] = i;
+
+  // 2-color the inputs: side[i] = 0 routes input i through the upper
+  // subnetwork. Constraint edges: input pairs (i, i+-h) and preimages of
+  // output pairs must take different sides. The union of these two
+  // perfect matchings is a disjoint union of even cycles, so greedy
+  // propagation always succeeds.
+  const auto in_mate = [h](std::size_t i) { return i < h ? i + h : i - h; };
+  const auto out_mate_pre = [&](std::size_t i) {
+    const std::size_t o = perm[i];
+    return inv[o < h ? o + h : o - h];
+  };
+  std::vector<int> side(m, -1);
+  for (std::size_t start = 0; start < m; ++start) {
+    if (side[start] != -1) continue;
+    side[start] = 0;
+    std::vector<std::size_t> stack{start};
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (const std::size_t v : {in_mate(u), out_mate_pre(u)}) {
+        if (side[v] == -1) {
+          side[v] = 1 - side[u];
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Input level: switch k covers inputs (k, k+h); crossed iff input k is
+  // routed down.
+  for (std::size_t k = 0; k < h; ++k) {
+    if (side[k] == 1)
+      levels[level_lo].gates.emplace_back(wires[k], wires[k + h],
+                                          GateOp::Exchange);
+  }
+  // up_in[k] / low_in[k]: which input's value enters sub-position k.
+  std::vector<std::size_t> up_in(h), low_in(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    up_in[k] = side[k] == 0 ? k : k + h;
+    low_in[k] = side[k] == 0 ? k + h : k;
+  }
+  std::vector<wire_t> perm_up(h), perm_low(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    perm_up[k] = static_cast<wire_t>(perm[up_in[k]] % h);
+    perm_low[k] = static_cast<wire_t>(perm[low_in[k]] % h);
+  }
+  // Output level: switch q joins sub-outputs q (upper) and q (lower) to
+  // global outputs (q, q+h); crossed iff the upper value targets q+h.
+  std::vector<std::size_t> inv_up(h);
+  for (std::size_t k = 0; k < h; ++k) inv_up[perm_up[k]] = k;
+  for (std::size_t q = 0; q < h; ++q) {
+    const std::size_t a = up_in[inv_up[q]];
+    if (perm[a] == q + h)
+      levels[level_hi].gates.emplace_back(wires[q], wires[q + h],
+                                          GateOp::Exchange);
+  }
+  route_recursive(wires.subspan(0, h), std::move(perm_up), level_lo + 1,
+                  level_hi - 1, levels);
+  route_recursive(wires.subspan(h), std::move(perm_low), level_lo + 1,
+                  level_hi - 1, levels);
+}
+
+}  // namespace
+
+ComparatorNetwork benes_route(const Permutation& target) {
+  const wire_t n = target.size();
+  if (n < 2) throw std::invalid_argument("benes_route: n must be >= 2");
+  const std::size_t depth = benes_depth(n);
+  std::vector<Level> levels(depth);
+  std::vector<wire_t> wires(n);
+  std::iota(wires.begin(), wires.end(), 0u);
+  std::vector<wire_t> perm(target.image().begin(), target.image().end());
+  route_recursive(wires, std::move(perm), 0, depth - 1, levels);
+  ComparatorNetwork net(n);
+  for (Level& level : levels) net.add_level(std::move(level));
+  return net;
+}
+
+RegisterNetwork route_on_shuffle_unshuffle(const Permutation& target) {
+  const wire_t n = target.size();
+  const std::uint32_t d = log2_exact(n);
+  // The 2d-1 steps net one surplus shuffle rotation (d shuffles down the
+  // dimension ladder, d-1 unshuffles back up), so route the Benes network
+  // for target o unshuffle and let that final rotation finish the job.
+  const ComparatorNetwork circuit =
+      benes_route(target.then(unshuffle_permutation(n)));
+  // Level t of benes_route pairs positions differing in dimension
+  // beta(t) = d-1, d-2, ..., 1, 0, 1, ..., d-1; express each level as a
+  // DimStep and let the shuffle-unshuffle compiler schedule it (each
+  // consecutive dimension differs by one, so no idle steps appear).
+  std::vector<std::vector<bool>> crossed(circuit.depth(),
+                                         std::vector<bool>(n, false));
+  std::vector<DimStep> program;
+  for (std::size_t t = 0; t < circuit.depth(); ++t) {
+    const std::uint32_t dim =
+        t < d ? d - 1 - static_cast<std::uint32_t>(t)
+              : static_cast<std::uint32_t>(t) - (d - 1);
+    for (const Gate& g : circuit.level(t).gates) crossed[t][g.lo] = true;
+    const auto& level_crossed = crossed[t];
+    program.push_back(DimStep{dim, [&level_crossed](wire_t x) {
+                                return level_crossed[x] ? GateOp::Exchange
+                                                        : GateOp::Passthrough;
+                              }});
+  }
+  RegisterNetwork net = compile_to_shuffle_unshuffle(n, program);
+  if (net.depth() != circuit.depth())
+    throw std::logic_error(
+        "route_on_shuffle_unshuffle: unexpected idle steps");
+  return net;
+}
+
+FlattenedNetwork materialize_with_benes(const IteratedRdn& net) {
+  ComparatorNetwork out(net.width());
+  for (const IteratedRdn::Stage& stage : net.stages()) {
+    if (!stage.pre.is_identity()) out.append(benes_route(stage.pre));
+    out.append(stage.chunk.net);
+  }
+  return FlattenedNetwork{std::move(out),
+                          Permutation::identity(net.width())};
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,46 @@
+// Benes permutation routing.
+//
+// The paper's iterated-RDN model allows an arbitrary fixed permutation
+// between consecutive reverse delta networks, and justifies this with the
+// classical fact that a shuffle-exchange network can route any permutation
+// in 3 lg n - 4 levels [Parker 80; Linial-Tarsi 89; Varma-Raghavendra 88].
+// We substitute the cleaner classical construction: a Benes network of
+// 2 lg n - 1 levels of exchange ("1") elements, configured by the looping
+// algorithm. The role in the argument is identical - eliminating the free
+// permutations costs only O(lg n) extra levels per stage, a constant
+// factor of the chunk depth (see DESIGN.md, substitutions).
+#pragma once
+
+#include "core/comparator_network.hpp"
+#include "networks/rdn.hpp"
+#include "perm/permutation.hpp"
+
+namespace shufflebound {
+
+/// Builds a (2 lg n - 1)-level network of Exchange elements realizing
+/// `target`: evaluating it on values v yields out with out[target(j)] = v[j]
+/// - i.e. exactly Permutation::apply. n must be a power of two, n >= 2.
+ComparatorNetwork benes_route(const Permutation& target);
+
+/// Depth of the Benes realization for n inputs: 2 lg n - 1.
+std::size_t benes_depth(wire_t n);
+
+/// Materializes an iterated RDN as a single gate-only circuit in which
+/// every non-identity inter-stage permutation is replaced by its Benes
+/// realization. Demonstrates the paper's "free permutations are w.l.o.g."
+/// remark: the result computes the same function (up to the final slot
+/// mapping, returned as register_to_wire) with depth increased by at most
+/// benes_depth(n) per stage.
+FlattenedNetwork materialize_with_benes(const IteratedRdn& net);
+
+/// The cited routing fact on the register machine itself: any fixed
+/// permutation of n = 2^d registers is realized by exactly 2d - 1
+/// shuffle/unshuffle steps whose ops are only "0"/"1" elements. The Benes
+/// dimension sequence d-1, ..., 1, 0, 1, ..., d-1 steps by one each
+/// time, so the shuffle-unshuffle compilation needs zero idle steps -
+/// one better than the 3d - 4 shuffle-only result the paper cites
+/// ([10, 9, 14]; unshuffle buys the difference). Evaluating the result
+/// on v leaves target.apply(v) in the registers.
+RegisterNetwork route_on_shuffle_unshuffle(const Permutation& target);
+
+}  // namespace shufflebound

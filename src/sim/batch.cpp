@@ -1,0 +1,62 @@
+#include "sim/batch.hpp"
+
+#include <atomic>
+
+namespace shufflebound {
+
+bool is_sorted_output(std::span<const wire_t> values) {
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (values[i - 1] > values[i]) return false;
+  return true;
+}
+
+std::size_t BatchEvaluator::count_trials(
+    std::size_t trials, std::uint64_t seed,
+    const std::function<bool(Prng&, std::size_t)>& trial) {
+  std::atomic<std::size_t> hits{0};
+  pool_.parallel_for(0, trials, [&](std::size_t index) {
+    std::uint64_t mix = seed ^ (0xA0761D6478BD642Full * (index + 1));
+    Prng rng(splitmix64(mix));
+    if (trial(rng, index)) hits.fetch_add(1, std::memory_order_relaxed);
+  });
+  return hits.load();
+}
+
+namespace {
+
+template <typename Net>
+std::size_t count_sorted_impl(BatchEvaluator& self, const Net& net,
+                              std::size_t trials, std::uint64_t seed) {
+  return self.count_trials(trials, seed, [&net](Prng& rng, std::size_t) {
+    Permutation input = random_permutation(net.width(), rng);
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    if constexpr (std::is_same_v<Net, ComparatorNetwork>) {
+      net.evaluate_in_place(std::span<wire_t>(values));
+    } else {
+      net.evaluate_in_place(values);
+    }
+    return is_sorted_output(values);
+  });
+}
+
+}  // namespace
+
+std::size_t BatchEvaluator::count_sorted_outputs(const ComparatorNetwork& net,
+                                                 std::size_t trials,
+                                                 std::uint64_t seed) {
+  return count_sorted_impl(*this, net, trials, seed);
+}
+
+std::size_t BatchEvaluator::count_sorted_outputs(const RegisterNetwork& net,
+                                                 std::size_t trials,
+                                                 std::uint64_t seed) {
+  return count_sorted_impl(*this, net, trials, seed);
+}
+
+std::size_t BatchEvaluator::count_sorted_outputs(const IteratedRdn& net,
+                                                 std::size_t trials,
+                                                 std::uint64_t seed) {
+  return count_sorted_impl(*this, net, trials, seed);
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,49 @@
+// Threaded batch evaluation of comparator networks: many independent
+// inputs through one network. The embarrassing parallelism here is what
+// makes the larger experiment sweeps (witness validation rates,
+// average-case profiles, Monte-Carlo sortedness estimates) tractable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/comparator_network.hpp"
+#include "core/register_network.hpp"
+#include "networks/rdn.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace shufflebound {
+
+/// Is the value sequence sorted ascending?
+bool is_sorted_output(std::span<const wire_t> values);
+
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(std::size_t workers = 0) : pool_(workers) {}
+
+  ThreadPool& pool() noexcept { return pool_; }
+
+  /// Runs `trials` uniformly random permutation inputs through `net` and
+  /// returns how many outputs came out sorted ascending. Deterministic in
+  /// `seed` regardless of thread count (per-trial generators).
+  std::size_t count_sorted_outputs(const ComparatorNetwork& net,
+                                   std::size_t trials, std::uint64_t seed);
+  std::size_t count_sorted_outputs(const RegisterNetwork& net,
+                                   std::size_t trials, std::uint64_t seed);
+  std::size_t count_sorted_outputs(const IteratedRdn& net, std::size_t trials,
+                                   std::uint64_t seed);
+
+  /// Generic deterministic parallel counting harness: counts trials for
+  /// which `trial(rng, index)` returns true, with rng derived from
+  /// (seed, index).
+  std::size_t count_trials(
+      std::size_t trials, std::uint64_t seed,
+      const std::function<bool(Prng&, std::size_t)>& trial);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace shufflebound

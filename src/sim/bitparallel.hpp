@@ -1,0 +1,6 @@
+// Forwarding header: the bit-parallel evaluator lives in core (it only
+// needs the network types), but is conceptually part of the simulator
+// suite; both include paths work.
+#pragma once
+
+#include "core/bitparallel.hpp"

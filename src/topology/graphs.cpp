@@ -1,0 +1,149 @@
+#include "topology/graphs.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bits.hpp"
+
+namespace shufflebound {
+
+std::vector<std::vector<std::size_t>> Graph::adjacency() const {
+  std::vector<std::vector<std::size_t>> adj(node_count);
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  return adj;
+}
+
+std::size_t Graph::degree_max() const {
+  std::vector<std::size_t> degree(node_count, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  return degree.empty() ? 0 : *std::max_element(degree.begin(), degree.end());
+}
+
+bool Graph::is_regular() const {
+  std::vector<std::size_t> degree(node_count, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  return std::adjacent_find(degree.begin(), degree.end(),
+                            std::not_equal_to<>()) == degree.end();
+}
+
+long long Graph::diameter() const {
+  const auto adj = adjacency();
+  long long best = 0;
+  for (std::size_t start = 0; start < node_count; ++start) {
+    std::vector<long long> dist(node_count, -1);
+    std::queue<std::size_t> queue;
+    dist[start] = 0;
+    queue.push(start);
+    std::size_t seen = 1;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop();
+      for (const std::size_t v : adj[u]) {
+        if (dist[v] == -1) {
+          dist[v] = dist[u] + 1;
+          best = std::max(best, dist[v]);
+          queue.push(v);
+          ++seen;
+        }
+      }
+    }
+    if (seen != node_count) return -1;
+  }
+  return best;
+}
+
+namespace {
+
+void add_edge_dedup(Graph& g, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  if (a > b) std::swap(a, b);
+  g.edges.emplace_back(a, b);
+}
+
+void finalize(Graph& g) {
+  std::sort(g.edges.begin(), g.edges.end());
+  g.edges.erase(std::unique(g.edges.begin(), g.edges.end()), g.edges.end());
+}
+
+}  // namespace
+
+Graph hypercube_graph(std::uint32_t d) {
+  Graph g;
+  g.node_count = std::size_t{1} << d;
+  for (std::size_t x = 0; x < g.node_count; ++x)
+    for (std::uint32_t b = 0; b < d; ++b)
+      add_edge_dedup(g, x, flip_bit(x, b));
+  finalize(g);
+  return g;
+}
+
+Graph shuffle_exchange_graph(std::uint32_t d) {
+  Graph g;
+  g.node_count = std::size_t{1} << d;
+  for (std::size_t x = 0; x < g.node_count; ++x) {
+    add_edge_dedup(g, x, x ^ 1);                  // exchange
+    add_edge_dedup(g, x, rotl_bits(x, d));        // shuffle
+  }
+  finalize(g);
+  return g;
+}
+
+Graph de_bruijn_graph(std::uint32_t d) {
+  Graph g;
+  g.node_count = std::size_t{1} << d;
+  const std::size_t n = g.node_count;
+  for (std::size_t x = 0; x < n; ++x) {
+    add_edge_dedup(g, x, (2 * x) % n);
+    add_edge_dedup(g, x, (2 * x + 1) % n);
+  }
+  finalize(g);
+  return g;
+}
+
+Graph cube_connected_cycles_graph(std::uint32_t d) {
+  Graph g;
+  const std::size_t corners = std::size_t{1} << d;
+  g.node_count = d * corners;
+  const auto id = [d, corners](std::uint32_t pos, std::size_t corner) {
+    (void)corners;
+    return corner * d + pos;
+  };
+  for (std::size_t corner = 0; corner < corners; ++corner) {
+    for (std::uint32_t pos = 0; pos < d; ++pos) {
+      // Cycle edge (for d >= 2; d == 1 degenerates to one node/corner).
+      if (d >= 2) add_edge_dedup(g, id(pos, corner), id((pos + 1) % d, corner));
+      // Hypercube edge across dimension `pos`.
+      add_edge_dedup(g, id(pos, corner), id(pos, flip_bit(corner, pos)));
+    }
+  }
+  finalize(g);
+  return g;
+}
+
+Graph butterfly_graph(std::uint32_t d) {
+  Graph g;
+  const std::size_t rows = std::size_t{1} << d;
+  g.node_count = (d + 1) * rows;
+  const auto id = [rows](std::uint32_t rank, std::size_t row) {
+    return rank * rows + row;
+  };
+  for (std::uint32_t rank = 0; rank < d; ++rank) {
+    for (std::size_t row = 0; row < rows; ++row) {
+      add_edge_dedup(g, id(rank, row), id(rank + 1, row));              // straight
+      add_edge_dedup(g, id(rank, row), id(rank + 1, flip_bit(row, rank)));  // cross
+    }
+  }
+  finalize(g);
+  return g;
+}
+
+}  // namespace shufflebound

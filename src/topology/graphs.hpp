@@ -1,0 +1,48 @@
+// The hypercubic interconnection topologies the paper situates itself
+// among (Section 1: "hypercube, butterfly, cube-connected cycles, or
+// shuffle-exchange"). Plain adjacency-structure constructions with the
+// classical parameters, used by tests and docs to pin the context down
+// (e.g. the directed shuffle-exchange graph is where the paper's
+// "sorting on the directed shuffle-exchange" reading lives).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace shufflebound {
+
+/// Simple undirected graph on [0, node_count).
+struct Graph {
+  std::size_t node_count = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  std::vector<std::vector<std::size_t>> adjacency() const;
+  std::size_t degree_max() const;
+  bool is_regular() const;
+  /// -1 if disconnected.
+  long long diameter() const;
+};
+
+/// The d-dimensional hypercube: 2^d nodes, edges across each dimension.
+Graph hypercube_graph(std::uint32_t d);
+
+/// The shuffle-exchange graph on 2^d nodes: exchange edges (x, x^1) and
+/// shuffle edges (x, rotl(x)). Self-loops (from shuffle fixed points) are
+/// omitted; parallel edges are merged.
+Graph shuffle_exchange_graph(std::uint32_t d);
+
+/// The de Bruijn graph on 2^d nodes (undirected version): edges
+/// (x, 2x mod n) and (x, 2x+1 mod n).
+Graph de_bruijn_graph(std::uint32_t d);
+
+/// The cube-connected cycles CCC(d): d * 2^d nodes (cycle position,
+/// hypercube corner); cycle edges plus one hypercube edge per position.
+Graph cube_connected_cycles_graph(std::uint32_t d);
+
+/// The butterfly graph BF(d): (d+1) * 2^d nodes arranged in d+1 ranks;
+/// straight and cross edges between consecutive ranks.
+Graph butterfly_graph(std::uint32_t d);
+
+}  // namespace shufflebound

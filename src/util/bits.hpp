@@ -1,0 +1,73 @@
+// Bit-manipulation helpers used throughout shufflebound.
+//
+// All networks in this library operate on n = 2^d wires (the shuffle
+// permutation is only defined for powers of two), so exact-log and
+// power-of-two checks appear at almost every construction boundary.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace shufflebound {
+
+/// Returns true iff `x` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Exact base-2 logarithm. Throws std::invalid_argument unless `x` is a
+/// power of two.
+inline std::uint32_t log2_exact(std::uint64_t x) {
+  if (!is_pow2(x)) throw std::invalid_argument("log2_exact: not a power of two");
+  return static_cast<std::uint32_t>(std::countr_zero(x));
+}
+
+/// Floor of base-2 logarithm; log2_floor(0) is undefined (returns 0).
+constexpr std::uint32_t log2_floor(std::uint64_t x) noexcept {
+  return x == 0 ? 0u : static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// Ceiling of base-2 logarithm; log2_ceil(0) == 0, log2_ceil(1) == 0.
+constexpr std::uint32_t log2_ceil(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return log2_floor(x - 1) + 1;
+}
+
+/// Rotate the low `d` bits of `x` left by one position (the shuffle
+/// permutation on indices): j_{d-1} j_{d-2} ... j_0  ->  j_{d-2} ... j_0 j_{d-1}.
+constexpr std::uint64_t rotl_bits(std::uint64_t x, std::uint32_t d) noexcept {
+  if (d <= 1) return x;
+  const std::uint64_t mask = (std::uint64_t{1} << d) - 1;
+  const std::uint64_t top = (x >> (d - 1)) & 1;
+  return ((x << 1) | top) & mask;
+}
+
+/// Rotate the low `d` bits of `x` right by one position (unshuffle on indices).
+constexpr std::uint64_t rotr_bits(std::uint64_t x, std::uint32_t d) noexcept {
+  if (d <= 1) return x;
+  const std::uint64_t mask = (std::uint64_t{1} << d) - 1;
+  const std::uint64_t low = x & 1;
+  return ((x & mask) >> 1) | (low << (d - 1));
+}
+
+/// Reverse the low `d` bits of `x`.
+constexpr std::uint64_t reverse_bits(std::uint64_t x, std::uint32_t d) noexcept {
+  std::uint64_t r = 0;
+  for (std::uint32_t b = 0; b < d; ++b) {
+    r = (r << 1) | ((x >> b) & 1);
+  }
+  return r;
+}
+
+/// Extract bit `b` of `x`.
+constexpr std::uint32_t get_bit(std::uint64_t x, std::uint32_t b) noexcept {
+  return static_cast<std::uint32_t>((x >> b) & 1);
+}
+
+/// Flip bit `b` of `x`.
+constexpr std::uint64_t flip_bit(std::uint64_t x, std::uint32_t b) noexcept {
+  return x ^ (std::uint64_t{1} << b);
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,129 @@
+// A minimal work-sharing thread pool with a blocking parallel_for.
+//
+// The simulator uses this for batch network evaluation (many independent
+// inputs through the same network). The pool is intentionally simple:
+// static chunking over an index range, one condition variable, no work
+// stealing - network evaluation is embarrassingly parallel with uniform
+// cost per item, so static partitioning is within noise of anything
+// fancier and is trivially correct.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shufflebound {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t workers = 0) {
+    if (workers == 0) {
+      workers = std::thread::hardware_concurrency();
+      if (workers == 0) workers = 1;
+    }
+    threads_.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lock(mutex_);
+      shutting_down_ = true;
+    }
+    wake_workers_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Runs body(i) for every i in [begin, end), partitioned statically over
+  /// the workers plus the calling thread. Blocks until all iterations have
+  /// completed. `body` must be safe to invoke concurrently.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body) {
+    if (begin >= end) return;
+    const std::size_t total = end - begin;
+    const std::size_t parts = threads_.size() + 1;
+    if (total == 1 || parts == 1) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      job_body_ = &body;
+      job_begin_ = begin;
+      job_end_ = end;
+      job_parts_ = parts;
+      job_next_part_ = 1;  // part 0 is run by the caller
+      job_pending_parts_ = parts - 1;
+      ++job_epoch_;
+    }
+    wake_workers_.notify_all();
+    run_part(body, begin, end, parts, /*part=*/0);
+    std::unique_lock lock(mutex_);
+    job_done_.wait(lock, [this] { return job_pending_parts_ == 0; });
+    job_body_ = nullptr;
+  }
+
+ private:
+  static void run_part(const std::function<void(std::size_t)>& body,
+                       std::size_t begin, std::size_t end, std::size_t parts,
+                       std::size_t part) {
+    const std::size_t total = end - begin;
+    const std::size_t chunk = (total + parts - 1) / parts;
+    const std::size_t lo = begin + part * chunk;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* body = nullptr;
+      std::size_t begin = 0, end = 0, parts = 0, part = 0;
+      {
+        std::unique_lock lock(mutex_);
+        wake_workers_.wait(lock, [&] {
+          return shutting_down_ ||
+                 (job_epoch_ != seen_epoch && job_next_part_ < job_parts_);
+        });
+        if (shutting_down_) return;
+        body = job_body_;
+        begin = job_begin_;
+        end = job_end_;
+        parts = job_parts_;
+        part = job_next_part_++;
+        if (job_next_part_ >= job_parts_) seen_epoch = job_epoch_;
+      }
+      run_part(*body, begin, end, parts, part);
+      {
+        std::scoped_lock lock(mutex_);
+        if (--job_pending_parts_ == 0) job_done_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable job_done_;
+  const std::function<void(std::size_t)>* job_body_ = nullptr;
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::size_t job_parts_ = 0;
+  std::size_t job_next_part_ = 0;
+  std::size_t job_pending_parts_ = 0;
+  std::uint64_t job_epoch_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace shufflebound

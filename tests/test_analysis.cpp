@@ -1,0 +1,118 @@
+// Sortedness estimation, failure injection, and the Section 5
+// average-case depth profile.
+#include <gtest/gtest.h>
+
+#include "analysis/depth_profile.hpp"
+#include "analysis/sortedness.hpp"
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(Sortedness, SorterHasFractionOne) {
+  BatchEvaluator evaluator(2);
+  EXPECT_DOUBLE_EQ(
+      estimate_sorted_fraction(evaluator, bitonic_sorting_network(16), 100, 1),
+      1.0);
+}
+
+TEST(Sortedness, BrokenSorterDetectedByEstimate) {
+  BatchEvaluator evaluator(2);
+  const auto broken = drop_one_comparator(bitonic_sorting_network(16), 21);
+  EXPECT_LT(estimate_sorted_fraction(evaluator, broken, 500, 2), 1.0);
+}
+
+TEST(Sortedness, DropOneComparatorAlwaysBreaksBatcher) {
+  // Failure injection sweep: removing ANY single comparator from the
+  // odd-even mergesort network must break it (Batcher networks have no
+  // redundant comparators), and the 0-1 certifier must catch every case.
+  const auto net = odd_even_mergesort_network(8);
+  for (std::size_t i = 0; i < net.comparator_count(); ++i) {
+    EXPECT_FALSE(is_sorting_network(drop_one_comparator(net, i)))
+        << "dropping comparator " << i << " went undetected";
+  }
+}
+
+TEST(Sortedness, DropIndexWrapsModulo) {
+  const auto net = bitonic_sorting_network(8);
+  const auto a = drop_one_comparator(net, 1);
+  const auto b = drop_one_comparator(net, 1 + net.comparator_count());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sortedness, DropOnEmptyNetworkThrows) {
+  EXPECT_THROW(drop_one_comparator(ComparatorNetwork(4), 0),
+               std::invalid_argument);
+}
+
+TEST(Sortedness, NetworkStats) {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::Exchange)});
+  net.add_level(Level{});
+  const auto stats = network_stats(net);
+  EXPECT_EQ(stats.width, 4u);
+  EXPECT_EQ(stats.depth, 2u);
+  EXPECT_EQ(stats.comparators, 1u);
+  EXPECT_EQ(stats.exchanges, 1u);
+  EXPECT_EQ(stats.empty_levels, 1u);
+}
+
+TEST(DepthProfile, RequiresMonotoneNetwork) {
+  BatchEvaluator evaluator(2);
+  EXPECT_THROW(profile_first_sorted_level(evaluator,
+                                          bitonic_sorting_network(8), 10, 1),
+               std::invalid_argument);
+}
+
+TEST(DepthProfile, SorterNeverFailsAndMeanIsBelowDepth) {
+  BatchEvaluator evaluator(4);
+  const auto net = odd_even_mergesort_network(16);
+  const auto profile = profile_first_sorted_level(evaluator, net, 400, 7);
+  EXPECT_EQ(profile.never_sorted(), 0u);
+  EXPECT_EQ(profile.trials, 400u);
+  std::size_t total = 0;
+  for (const auto h : profile.histogram) total += h;
+  EXPECT_EQ(total, 400u);
+  EXPECT_LE(profile.mean, static_cast<double>(net.depth()));
+  EXPECT_GT(profile.mean, 0.0);
+}
+
+TEST(DepthProfile, AverageCaseBeatsWorstCase) {
+  // Section 5's observation, measured: average-case sorting depth can sit
+  // well below the network's worst-case depth. A sorter followed by a
+  // redundant copy of itself has twice the depth but identical average
+  // first-sorted level - random inputs never touch the second half.
+  BatchEvaluator evaluator(4);
+  auto net = odd_even_mergesort_network(16);
+  const auto single_depth = net.depth();
+  net.append(odd_even_mergesort_network(16));
+  const auto profile = profile_first_sorted_level(evaluator, net, 300, 11);
+  EXPECT_EQ(profile.never_sorted(), 0u);
+  EXPECT_LE(profile.mean, static_cast<double>(single_depth));
+  EXPECT_LT(profile.mean, static_cast<double>(net.depth()) / 1.5);
+}
+
+TEST(DepthProfile, AlreadySortedInputCountsAsLevelZero) {
+  BatchEvaluator evaluator(1);
+  // Width-2 monotone sorter: half of random 2-permutations are sorted at
+  // level 0, half after level 1.
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  const auto profile = profile_first_sorted_level(evaluator, net, 1000, 13);
+  EXPECT_GT(profile.histogram[0], 350u);
+  EXPECT_GT(profile.histogram[1], 350u);
+  EXPECT_EQ(profile.never_sorted(), 0u);
+}
+
+TEST(DepthProfile, DeterministicAcrossPoolSizes) {
+  BatchEvaluator one(1), many(8);
+  const auto net = odd_even_mergesort_network(8);
+  const auto p1 = profile_first_sorted_level(one, net, 200, 17);
+  const auto p2 = profile_first_sorted_level(many, net, 200, 17);
+  EXPECT_EQ(p1.histogram, p2.histogram);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,166 @@
+// Executable checks of the paper's basic lemmas (Section 3.3). Each
+// lemma's statement is instantiated on concrete networks/patterns and
+// verified against the exhaustive collision oracle - the library-level
+// evidence that our semantics match the paper's.
+#include <gtest/gtest.h>
+
+#include "networks/rdn.hpp"
+#include "pattern/collision.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+// --------------------------------------------------------------------
+// Lemma 3.1: combining per-part refinements of a {S0,M0,L0} pattern that
+// stay strictly between S0 and L0 on A yields an A-refinement of the
+// whole pattern.
+// --------------------------------------------------------------------
+TEST(Lemma31, CombinedPartRefinementsRefineTheWhole) {
+  // W = 6 wires; W0 = {0,1,2}, W1 = {3,4,5}; A = [M0]-set = {1,2,4}.
+  const InputPattern p({sym_S(0), sym_M(0), sym_M(0), sym_L(0), sym_M(0),
+                        sym_S(0)});
+  // q0 refines p|W0 on A (M0 -> M1 / X1,0); q1 refines p|W1 on A.
+  InputPattern q = p;
+  q.set(1, sym_M(1));
+  q.set(2, sym_X(1, 0));
+  q.set(4, sym_M(2));
+  // All new symbols are strictly between S0 and L0 ...
+  for (const wire_t w : {1u, 2u, 4u}) {
+    EXPECT_LT(sym_S(0), q[w]);
+    EXPECT_LT(q[w], sym_L(0));
+  }
+  // ... so q = q0 (+) q1 is an A-refinement of p.
+  const std::vector<wire_t> a{1, 2, 4};
+  EXPECT_TRUE(u_refines(p, q, a));
+}
+
+TEST(Lemma31, HypothesisMattersSymbolsOutsideTheOpenInterval) {
+  // Why the lemma insists on S0 < q(w) < L0 for w in A: if a part's
+  // refinement pushes an A-wire all the way to L0, the combined pattern
+  // loses the constraint "that wire < every L0 wire of the *other* part"
+  // and is no longer a refinement of p at all.
+  const InputPattern p({sym_S(0), sym_M(0), sym_M(0), sym_L(0)});
+  InputPattern q = p;
+  q.set(1, sym_L(0));  // A-wire collides with the flank class
+  // p requires pi(1) < pi(3); q makes them equal-class: constraint lost.
+  EXPECT_FALSE(refines(p, q));
+  // Keeping strictly inside the interval preserves refinement:
+  q = p;
+  q.set(1, sym_M(7));
+  EXPECT_TRUE(refines(p, q));
+}
+
+// --------------------------------------------------------------------
+// Lemma 3.2: if [P0]- and [P1]-sets are each noncolliding in the first
+// d-1 levels, any cross pair either collides at level d or cannot
+// collide there - never "can collide".
+// --------------------------------------------------------------------
+TEST(Lemma32, CrossPairsAreDeterminedAtTheNextLevel) {
+  // 2-level network on 4 wires. Level 1 compares (0,1) ascending and
+  // (2,3) DESCENDING, so with M0 on {0,3} and M1 on {1,2} (M0 < M1)
+  // nothing moves in level 1 and both sets are noncolliding there.
+  // Level 2 compares (0,2) only.
+  ComparatorNetwork net(4);
+  net.add_level(
+      {Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::CompareDesc)});
+  net.add_level({Gate(0, 2, GateOp::CompareAsc)});
+  const InputPattern p({sym_M(0), sym_M(1), sym_M(1), sym_M(0)});
+  const CollisionOracle oracle(net, p);
+  EXPECT_TRUE(oracle.noncolliding(std::vector<wire_t>{0, 3}));
+  EXPECT_TRUE(oracle.noncolliding(std::vector<wire_t>{1, 2}));
+  // Lemma 3.2: every cross pair's verdict at the final level is
+  // deterministic - Collide or CannotCollide, never CanCollide.
+  EXPECT_EQ(oracle.verdict(0, 1), CollisionVerdict::Collide);   // level 1
+  EXPECT_EQ(oracle.verdict(0, 2), CollisionVerdict::Collide);   // level 2
+  EXPECT_EQ(oracle.verdict(3, 1), CollisionVerdict::CannotCollide);
+  EXPECT_EQ(oracle.verdict(3, 2), CollisionVerdict::Collide);   // level 1
+}
+
+TEST(Lemma32, HypothesisNecessaryCanCollideAppearsOtherwise) {
+  // Without the noncolliding hypothesis (both wires in ONE class), the
+  // w1/w3 pair of Example 3.3 shows "can collide" is possible.
+  ComparatorNetwork net(4);
+  net.add_level({Gate(1, 2, GateOp::CompareAsc)});
+  net.add_level({Gate(2, 3, GateOp::CompareAsc)});
+  const InputPattern p({sym_S(0), sym_M(0), sym_M(0), sym_L(0)});
+  const CollisionOracle oracle(net, p);
+  EXPECT_EQ(oracle.verdict(1, 3), CollisionVerdict::CanCollide);
+}
+
+// --------------------------------------------------------------------
+// Lemma 3.3: refinements of the output pattern of a prefix pull back to
+// refinements of the input pattern, preserving noncollision through the
+// composite. Exercised through the adversary driver in test_theorem41;
+// here the core pull-back claim is checked directly on a two-part
+// network.
+// --------------------------------------------------------------------
+TEST(Lemma33, OutputRefinementPullsBack) {
+  // Lambda0: exchange wires (0,1); Lambda1: compare (0,1). The [M0]-set
+  // {0,1} is noncolliding in Lambda0 (exchanges are not comparisons).
+  ComparatorNetwork lambda0(2);
+  lambda0.add_level({Gate(0, 1, GateOp::Exchange)});
+  const InputPattern p(2, sym_M(0));
+  const InputPattern q = evaluate_pattern(lambda0, p);
+  EXPECT_EQ(q, p);  // both outputs carry M0
+  // Refine q: output wire 0 -> M0, output wire 1 -> M1 (B-refinement).
+  InputPattern q_ref = q;
+  q_ref.set(1, sym_M(1));
+  // Pull back along the exchange: input wire 0's value ends on output 1.
+  InputPattern p_ref = p;
+  p_ref.set(0, sym_M(1));
+  // Claim: Lambda0(p_ref) == q_ref.
+  EXPECT_EQ(evaluate_pattern(lambda0, p_ref), q_ref);
+  EXPECT_TRUE(refines(p, p_ref));
+}
+
+// --------------------------------------------------------------------
+// Lemma 3.4: the rho renaming (everything below M_i -> S0, above -> L0,
+// M_i -> M0) preserves noncollision of the [M_i]-set.
+// --------------------------------------------------------------------
+TEST(Lemma34, RhoRenamingPreservesNoncollision) {
+  Prng rng(34);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RdnChunk chunk = random_rdn(3, rng, 20, 10);
+    // A mixed pattern using several symbol classes.
+    const InputPattern p({sym_S(0), sym_M(1), sym_X(1, 0), sym_M(1), sym_M(2),
+                          sym_L(0), sym_M(1), sym_M(2)});
+    const auto m1_set = p.set_of(sym_M(1));
+    const CollisionOracle before(chunk.net, p);
+    if (!before.noncolliding(m1_set)) continue;  // need the hypothesis
+    // rho_1: below M1 -> S0, M1 -> M0, above -> L0.
+    InputPattern renamed = p;
+    for (wire_t w = 0; w < p.size(); ++w) {
+      if (p[w] < sym_M(1))
+        renamed.set(w, sym_S(0));
+      else if (p[w] == sym_M(1))
+        renamed.set(w, sym_M(0));
+      else
+        renamed.set(w, sym_L(0));
+    }
+    const CollisionOracle after(chunk.net, renamed);
+    EXPECT_TRUE(after.noncolliding(m1_set)) << "trial " << trial;
+  }
+}
+
+TEST(Lemma34, RhoIsCoarseningNotRefinement) {
+  // rho merges classes, so the renamed pattern refines TO the original's
+  // shape on the M-set but is coarser elsewhere: p refines rho(p) only if
+  // p's classes already were {below, M_i, above}. Check the semantics on
+  // a concrete pattern: rho(p)[V] contains p[V].
+  const InputPattern p({sym_S(0), sym_S(1), sym_M(0), sym_L(1), sym_L(0)});
+  InputPattern rho = p;
+  for (wire_t w = 0; w < p.size(); ++w) {
+    if (p[w] < sym_M(0))
+      rho.set(w, sym_S(0));
+    else if (p[w] == sym_M(0))
+      rho.set(w, sym_M(0));
+    else
+      rho.set(w, sym_L(0));
+  }
+  EXPECT_TRUE(refines(rho, p));
+  EXPECT_FALSE(refines(p, rho));
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,90 @@
+#include "networks/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/depth_profile.hpp"
+#include "perm/permutation.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+class BatcherExhaustive : public ::testing::TestWithParam<wire_t> {};
+
+TEST_P(BatcherExhaustive, BitonicSortsAllZeroOne) {
+  EXPECT_TRUE(is_sorting_network(bitonic_sorting_network(GetParam())));
+}
+
+TEST_P(BatcherExhaustive, OddEvenMergesortSortsAllZeroOne) {
+  EXPECT_TRUE(is_sorting_network(odd_even_mergesort_network(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepableSizes, BatcherExhaustive,
+                         ::testing::Values<wire_t>(2, 4, 8, 16));
+
+class BatcherSizes : public ::testing::TestWithParam<wire_t> {};
+
+TEST_P(BatcherSizes, DepthMatchesClosedForm) {
+  const wire_t n = GetParam();
+  EXPECT_EQ(bitonic_sorting_network(n).depth(), batcher_depth(n));
+  EXPECT_EQ(odd_even_mergesort_network(n).depth(), batcher_depth(n));
+}
+
+TEST_P(BatcherSizes, BitonicComparatorCountIsFull) {
+  const wire_t n = GetParam();
+  // Bitonic uses n/2 comparators in every one of its levels.
+  EXPECT_EQ(bitonic_sorting_network(n).comparator_count(),
+            batcher_depth(n) * (n / 2));
+}
+
+TEST_P(BatcherSizes, OemUsesFewerComparatorsThanBitonic) {
+  const wire_t n = GetParam();
+  if (n < 4) return;
+  EXPECT_LT(odd_even_mergesort_network(n).comparator_count(),
+            bitonic_sorting_network(n).comparator_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BatcherSizes,
+                         ::testing::Values<wire_t>(2, 4, 8, 16, 32, 64, 128));
+
+TEST(Batcher, SortsRandomPermutations) {
+  Prng rng(41);
+  for (wire_t n : {256u, 1024u}) {
+    const auto bitonic = bitonic_sorting_network(n);
+    const auto oem = odd_even_mergesort_network(n);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto input = random_permutation(n, rng);
+      for (const auto* net : {&bitonic, &oem}) {
+        auto v = std::vector<wire_t>(input.image().begin(), input.image().end());
+        net->evaluate_in_place(std::span<wire_t>(v));
+        for (wire_t i = 0; i < n; ++i) ASSERT_EQ(v[i], i);
+      }
+    }
+  }
+}
+
+TEST(Batcher, SortsInputsWithDuplicates) {
+  const auto net = bitonic_sorting_network(8);
+  const auto out = net.evaluate(std::vector<int>{3, 1, 3, 0, 2, 1, 0, 3});
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(Batcher, OemIsMonotoneBitonicIsNot) {
+  EXPECT_TRUE(is_monotone(odd_even_mergesort_network(32)));
+  EXPECT_FALSE(is_monotone(bitonic_sorting_network(32)));
+}
+
+TEST(Batcher, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(bitonic_sorting_network(12), std::invalid_argument);
+  EXPECT_THROW(odd_even_mergesort_network(10), std::invalid_argument);
+}
+
+TEST(Batcher, TrivialWidthTwo) {
+  const auto net = bitonic_sorting_network(2);
+  EXPECT_EQ(net.depth(), 1u);
+  EXPECT_EQ(net.evaluate(std::vector<int>{1, 0}), (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace shufflebound

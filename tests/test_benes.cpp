@@ -1,0 +1,154 @@
+// Benes routing: the substitute for the cited 3 lg n - 4 shuffle-exchange
+// routing result (free inter-RDN permutations are w.l.o.g.).
+#include "routing/benes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+void expect_routes(const Permutation& target) {
+  const auto net = benes_route(target);
+  EXPECT_EQ(net.depth(), benes_depth(target.size()));
+  EXPECT_EQ(net.comparator_count(), 0u);  // exchanges only
+  std::vector<wire_t> v(target.size());
+  std::iota(v.begin(), v.end(), 0u);
+  const auto expected = target.apply(v);
+  auto actual = v;
+  net.evaluate_in_place(std::span<wire_t>(actual));
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Benes, RoutesIdentity) { expect_routes(Permutation::identity(8)); }
+
+TEST(Benes, RoutesSwap) { expect_routes(Permutation({1, 0})); }
+
+TEST(Benes, RoutesShuffleAndReversal) {
+  expect_routes(shuffle_permutation(16));
+  expect_routes(unshuffle_permutation(16));
+  expect_routes(bit_reversal_permutation(32));
+}
+
+TEST(Benes, RoutesFullReversal) {
+  std::vector<wire_t> image(16);
+  for (wire_t j = 0; j < 16; ++j) image[j] = 15 - j;
+  expect_routes(Permutation(std::move(image)));
+}
+
+class BenesRandom : public ::testing::TestWithParam<wire_t> {};
+
+TEST_P(BenesRandom, RoutesRandomPermutations) {
+  Prng rng(GetParam() * 1000 + 1);
+  for (int trial = 0; trial < 10; ++trial)
+    expect_routes(random_permutation(GetParam(), rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BenesRandom,
+                         ::testing::Values<wire_t>(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Benes, ExhaustiveOnWidthFour) {
+  // All 24 permutations of 4 points route correctly.
+  std::vector<wire_t> image{0, 1, 2, 3};
+  int count = 0;
+  do {
+    expect_routes(Permutation(image));
+    ++count;
+  } while (std::next_permutation(image.begin(), image.end()));
+  EXPECT_EQ(count, 24);
+}
+
+TEST(Benes, DepthFormula) {
+  EXPECT_EQ(benes_depth(2), 1u);
+  EXPECT_EQ(benes_depth(8), 5u);
+  EXPECT_EQ(benes_depth(1024), 19u);
+}
+
+TEST(MaterializeWithBenes, PreservesFunctionOfIteratedRdn) {
+  Prng rng(3001);
+  const wire_t n = 16;
+  const auto net = make_iterated_rdn(
+      n, 3, [&](std::size_t) { return random_rdn(4, rng, 10, 10); },
+      [&](std::size_t c) {
+        return c == 0 ? Permutation::identity(n) : random_permutation(n, rng);
+      });
+  const auto materialized = materialize_with_benes(net);
+  EXPECT_TRUE(materialized.register_to_wire.is_identity());
+  // Depth overhead: at most benes_depth(n) per non-identity permutation.
+  EXPECT_LE(materialized.circuit.depth(),
+            net.depth() + net.stage_count() * benes_depth(n));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto input = random_permutation(n, rng);
+    std::vector<wire_t> a(input.image().begin(), input.image().end());
+    net.evaluate_in_place(a);
+    std::vector<wire_t> b(input.image().begin(), input.image().end());
+    materialized.circuit.evaluate_in_place(std::span<wire_t>(b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(MaterializeWithBenes, GateOnlySorterStillSorts) {
+  // Realize bitonic's circuit-to-register conversion back as an iterated
+  // structure? Simpler end-to-end: wrap a bitonic circuit as one chunk
+  // behind a random permutation, materialize, and verify it sorts the
+  // permuted inputs exactly as the two-part composition does.
+  Prng rng(3002);
+  const wire_t n = 8;
+  const Permutation pre = random_permutation(n, rng);
+  const auto sorter = bitonic_sorting_network(n);
+  ComparatorNetwork composed(n);
+  composed.append(benes_route(pre));
+  composed.append(sorter);
+  // benes(pre) then sort = sort of a permuted input = sorted output.
+  EXPECT_TRUE(is_sorting_network(composed));
+}
+
+class ShuffleUnshuffleRouting : public ::testing::TestWithParam<wire_t> {};
+
+TEST_P(ShuffleUnshuffleRouting, RoutesOnTheRegisterMachine) {
+  // The cited routing fact, realized on the machine itself: 2 lg n - 1
+  // shuffle/unshuffle steps of pure 0/1 elements route any permutation.
+  Prng rng(GetParam() * 77 + 5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Permutation target = random_permutation(GetParam(), rng);
+    const RegisterNetwork net = route_on_shuffle_unshuffle(target);
+    EXPECT_EQ(net.depth(), benes_depth(GetParam()));
+    EXPECT_EQ(net.comparator_count(), 0u);  // "0"/"1" elements only
+    EXPECT_TRUE(is_shuffle_unshuffle_based(net));
+    std::vector<wire_t> v(GetParam());
+    std::iota(v.begin(), v.end(), 0u);
+    const auto expected = target.apply(v);
+    net.evaluate_in_place(v);
+    EXPECT_EQ(v, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShuffleUnshuffleRouting,
+                         ::testing::Values<wire_t>(4, 8, 16, 64, 256));
+
+TEST(ShuffleUnshuffleRouting, ExhaustiveOnWidthFour) {
+  std::vector<wire_t> image{0, 1, 2, 3};
+  do {
+    const Permutation target(image);
+    const RegisterNetwork net = route_on_shuffle_unshuffle(target);
+    std::vector<wire_t> v{0, 1, 2, 3};
+    const auto expected = target.apply(v);
+    net.evaluate_in_place(v);
+    ASSERT_EQ(v, expected);
+  } while (std::next_permutation(image.begin(), image.end()));
+}
+
+TEST(Benes, RejectsTrivialWidth) {
+  EXPECT_THROW(benes_route(Permutation::identity(1)), std::invalid_argument);
+  EXPECT_THROW(benes_route(Permutation::identity(12)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,85 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shufflebound {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+  EXPECT_THROW(log2_exact(0), std::invalid_argument);
+  EXPECT_THROW(log2_exact(12), std::invalid_argument);
+}
+
+TEST(Bits, Log2FloorCeil) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+}
+
+TEST(Bits, RotlMatchesPaperShuffleDefinition) {
+  // j = j_{d-1} ... j_0 maps to j_{d-2} ... j_0 j_{d-1}.
+  const std::uint32_t d = 4;
+  EXPECT_EQ(rotl_bits(0b1000, d), 0b0001u);
+  EXPECT_EQ(rotl_bits(0b0001, d), 0b0010u);
+  EXPECT_EQ(rotl_bits(0b1010, d), 0b0101u);
+  EXPECT_EQ(rotl_bits(0b1111, d), 0b1111u);
+}
+
+TEST(Bits, RotrInvertsRotl) {
+  for (std::uint32_t d = 1; d <= 8; ++d)
+    for (std::uint64_t x = 0; x < (1ull << d); ++x)
+      EXPECT_EQ(rotr_bits(rotl_bits(x, d), d), x) << "d=" << d << " x=" << x;
+}
+
+TEST(Bits, RotlIsPeriodic) {
+  const std::uint32_t d = 6;
+  for (std::uint64_t x = 0; x < (1ull << d); ++x) {
+    std::uint64_t y = x;
+    for (std::uint32_t i = 0; i < d; ++i) y = rotl_bits(y, d);
+    EXPECT_EQ(y, x);
+  }
+}
+
+TEST(Bits, ReverseBitsInvolution) {
+  for (std::uint32_t d = 1; d <= 10; ++d)
+    for (std::uint64_t x = 0; x < (1ull << d); x += 7)
+      EXPECT_EQ(reverse_bits(reverse_bits(x, d), d), x);
+}
+
+TEST(Bits, ReverseBitsExamples) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+}
+
+TEST(Bits, GetFlipBit) {
+  EXPECT_EQ(get_bit(0b1010, 1), 1u);
+  EXPECT_EQ(get_bit(0b1010, 0), 0u);
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(flip_bit(0b1010, 3), 0b0010u);
+}
+
+TEST(Bits, DegenerateWidthOne) {
+  EXPECT_EQ(rotl_bits(0, 0), 0u);
+  EXPECT_EQ(rotl_bits(1, 1), 1u);
+  EXPECT_EQ(rotr_bits(1, 1), 1u);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,153 @@
+// Collision semantics (Definitions 3.5 - 3.7), checked against the
+// paper's worked Example 3.3 and against exhaustive enumeration.
+#include "pattern/collision.hpp"
+
+#include <gtest/gtest.h>
+
+#include "networks/batcher.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+// The network of Example 3.3: comparators (w1,w2), then (w2,w3), then
+// (w0,w3), all directed towards the larger index.
+ComparatorNetwork example33_network() {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(1, 2, GateOp::CompareAsc)});
+  net.add_level({Gate(2, 3, GateOp::CompareAsc)});
+  net.add_level({Gate(0, 3, GateOp::CompareAsc)});
+  return net;
+}
+
+// Pattern of Example 3.3: w0 -> S, w1,w2 -> M, w3 -> L.
+InputPattern example33_pattern() {
+  return InputPattern({sym_S(0), sym_M(0), sym_M(0), sym_L(0)});
+}
+
+TEST(Example33, AllFiveClaims) {
+  const CollisionOracle oracle(example33_network(), example33_pattern());
+  // (1) w1 and w2 collide (very first comparator).
+  EXPECT_EQ(oracle.verdict(1, 2), CollisionVerdict::Collide);
+  // (2) w1 and w3 can collide; similarly w2 and w3.
+  EXPECT_EQ(oracle.verdict(1, 3), CollisionVerdict::CanCollide);
+  EXPECT_EQ(oracle.verdict(2, 3), CollisionVerdict::CanCollide);
+  // (3) w0 and w3 collide; w0 cannot collide with w1 or w2.
+  EXPECT_EQ(oracle.verdict(0, 3), CollisionVerdict::Collide);
+  EXPECT_EQ(oracle.verdict(0, 1), CollisionVerdict::CannotCollide);
+  EXPECT_EQ(oracle.verdict(0, 2), CollisionVerdict::CannotCollide);
+}
+
+TEST(Example33, NoncollidingSets) {
+  const CollisionOracle oracle(example33_network(), example33_pattern());
+  const std::vector<wire_t> s01{0, 1};
+  const std::vector<wire_t> s12{1, 2};
+  EXPECT_TRUE(oracle.noncolliding(s01));
+  EXPECT_FALSE(oracle.noncolliding(s12));
+}
+
+TEST(CollisionMonotonicity, VerdictsSurviveRefinement) {
+  // Collide / CannotCollide are preserved under refinement (the remark
+  // after Example 3.3); CanCollide need not be.
+  const auto net = example33_network();
+  const auto p = example33_pattern();
+  // Refine: force w1 < w2 by splitting the M class.
+  const InputPattern q({sym_S(0), sym_M(0), sym_M(1), sym_L(0)});
+  ASSERT_TRUE(refines(p, q));
+  const CollisionOracle before(net, p);
+  const CollisionOracle after(net, q);
+  for (wire_t a = 0; a < 4; ++a) {
+    for (wire_t b = a + 1; b < 4; ++b) {
+      if (before.verdict(a, b) == CollisionVerdict::Collide) {
+        EXPECT_EQ(after.verdict(a, b), CollisionVerdict::Collide);
+      }
+      if (before.verdict(a, b) == CollisionVerdict::CannotCollide) {
+        EXPECT_EQ(after.verdict(a, b), CollisionVerdict::CannotCollide);
+      }
+    }
+  }
+  // And the refinement resolved w2-vs-w3: with w2 the larger M, w2 wins
+  // the first comparator and meets w3.
+  EXPECT_EQ(after.verdict(2, 3), CollisionVerdict::Collide);
+  EXPECT_EQ(after.verdict(1, 3), CollisionVerdict::CannotCollide);
+}
+
+TEST(PatternEvaluation, ComparatorRoutesSymbolsByOrder) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  const auto out = evaluate_pattern(net, InputPattern({sym_L(0), sym_S(0)}));
+  EXPECT_EQ(out[0], sym_S(0));
+  EXPECT_EQ(out[1], sym_L(0));
+}
+
+TEST(PatternEvaluation, EqualSymbolsPassThrough) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareDesc)});
+  const auto out = evaluate_pattern(net, InputPattern(2, sym_M(0)));
+  EXPECT_EQ(out[0], sym_M(0));
+  EXPECT_EQ(out[1], sym_M(0));
+}
+
+TEST(PatternEvaluation, Definition35SetEquality) {
+  // Lambda(p0) = p1 iff Lambda(p0[V]) = p1[V]: check set equality by
+  // enumerating p0[V] on a small sorter.
+  const auto net = bitonic_sorting_network(4);
+  const InputPattern p0({sym_M(0), sym_M(0), sym_L(0), sym_M(0)});
+  const InputPattern p1 = evaluate_pattern(net, p0);
+  // Outputs of every refinement must refine p1.
+  for (const auto& input : all_refinement_inputs(p0)) {
+    auto out = net.evaluate(
+        std::vector<wire_t>(input.image().begin(), input.image().end()));
+    // Interpret out as an input for p1's wires (values at positions).
+    const Permutation as_perm(out);
+    EXPECT_TRUE(refines_to_input(p1, as_perm));
+  }
+}
+
+TEST(PatternEvaluation, SorterSortsTheSymbols) {
+  const auto net = bitonic_sorting_network(8);
+  const InputPattern p({sym_L(0), sym_S(0), sym_M(0), sym_S(0), sym_L(1),
+                        sym_M(0), sym_S(1), sym_M(0)});
+  const auto out = evaluate_pattern(net, p);
+  for (wire_t w = 0; w + 1 < 8; ++w) EXPECT_LE(out[w], out[w + 1]);
+}
+
+TEST(CollisionOracle, SortingNetworkComparesAllAdjacentValuePairs) {
+  // The observation opening Section 2: a sorting network must compare
+  // every pair of adjacent values. With the all-M pattern every pair of
+  // wires carrying adjacent values must at least be able to collide.
+  const auto net = bitonic_sorting_network(4);
+  const CollisionOracle oracle(net, InputPattern(4, sym_M(0)));
+  for (wire_t a = 0; a < 4; ++a)
+    for (wire_t b = a + 1; b < 4; ++b)
+      EXPECT_NE(oracle.verdict(a, b), CollisionVerdict::CannotCollide);
+}
+
+TEST(CollisionOracle, EnumerationBudgetEnforced) {
+  const auto net = bitonic_sorting_network(8);
+  EXPECT_THROW(CollisionOracle(net, InputPattern(8, sym_M(0)), /*max=*/100),
+               std::invalid_argument);
+}
+
+TEST(CollisionOracle, ExchangeElementsDoNotCollide) {
+  // Definition 3.6: values meeting in a "1" element are not compared.
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::Exchange)});
+  const CollisionOracle oracle(net, InputPattern(2, sym_M(0)));
+  EXPECT_EQ(oracle.verdict(0, 1), CollisionVerdict::CannotCollide);
+}
+
+TEST(SampledNoncollision, AgreesWithOracleOnExample33) {
+  Prng rng(7);
+  const auto net = example33_network();
+  const auto p = example33_pattern();
+  const std::vector<wire_t> good{0, 1};
+  const std::vector<wire_t> bad{1, 2};
+  EXPECT_TRUE(noncolliding_under_all_linearizations_sample(net, p, good, rng,
+                                                           200));
+  EXPECT_FALSE(noncolliding_under_all_linearizations_sample(net, p, bad, rng,
+                                                            200));
+}
+
+}  // namespace
+}  // namespace shufflebound

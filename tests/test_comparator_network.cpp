@@ -1,0 +1,206 @@
+#include "core/comparator_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "perm/permutation.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(Gate, NormalizesEndpointsAndOrientation) {
+  const Gate a(1, 5, GateOp::CompareAsc);
+  EXPECT_EQ(a.lo, 1u);
+  EXPECT_EQ(a.hi, 5u);
+  EXPECT_EQ(a.op, GateOp::CompareAsc);
+
+  // Min must go to the *first constructor argument*; swapping endpoints
+  // flips the stored orientation.
+  const Gate b(5, 1, GateOp::CompareAsc);
+  EXPECT_EQ(b.lo, 1u);
+  EXPECT_EQ(b.hi, 5u);
+  EXPECT_EQ(b.op, GateOp::CompareDesc);
+
+  const Gate c(5, 1, GateOp::CompareDesc);
+  EXPECT_EQ(c.op, GateOp::CompareAsc);
+
+  const Gate d(5, 1, GateOp::Exchange);
+  EXPECT_EQ(d.op, GateOp::Exchange);
+}
+
+TEST(Gate, RejectsSelfLoop) {
+  EXPECT_THROW(Gate(3, 3, GateOp::CompareAsc), std::invalid_argument);
+}
+
+TEST(Gate, OpPredicates) {
+  EXPECT_TRUE(is_comparator(GateOp::CompareAsc));
+  EXPECT_TRUE(is_comparator(GateOp::CompareDesc));
+  EXPECT_FALSE(is_comparator(GateOp::Exchange));
+  EXPECT_FALSE(is_comparator(GateOp::Passthrough));
+  EXPECT_EQ(gate_op_symbol(GateOp::CompareAsc), '+');
+  EXPECT_EQ(gate_op_symbol(GateOp::CompareDesc), '-');
+  EXPECT_EQ(gate_op_symbol(GateOp::Exchange), '1');
+  EXPECT_EQ(gate_op_symbol(GateOp::Passthrough), '0');
+}
+
+TEST(ComparatorNetwork, CompareAscOrdersPair) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  EXPECT_EQ(net.evaluate(std::vector<int>{5, 3}), (std::vector<int>{3, 5}));
+  EXPECT_EQ(net.evaluate(std::vector<int>{3, 5}), (std::vector<int>{3, 5}));
+}
+
+TEST(ComparatorNetwork, CompareDescOrdersPair) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareDesc)});
+  EXPECT_EQ(net.evaluate(std::vector<int>{5, 3}), (std::vector<int>{5, 3}));
+  EXPECT_EQ(net.evaluate(std::vector<int>{3, 5}), (std::vector<int>{5, 3}));
+}
+
+TEST(ComparatorNetwork, ExchangeAlwaysSwaps) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::Exchange)});
+  EXPECT_EQ(net.evaluate(std::vector<int>{3, 5}), (std::vector<int>{5, 3}));
+}
+
+TEST(ComparatorNetwork, EqualValuesNeverSwap) {
+  // Relevant for pattern evaluation: equal symbols pass through.
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  struct Tagged {
+    int key;
+    int tag;
+  };
+  std::vector<Tagged> v{{7, 0}, {7, 1}};
+  net.evaluate_in_place(std::span<Tagged>(v),
+                        [](const Tagged& a, const Tagged& b) {
+                          return a.key < b.key;
+                        });
+  EXPECT_EQ(v[0].tag, 0);
+  EXPECT_EQ(v[1].tag, 1);
+}
+
+TEST(ComparatorNetwork, LevelWireDisjointnessEnforced) {
+  ComparatorNetwork net(4);
+  Level level;
+  level.gates.emplace_back(0, 1, GateOp::CompareAsc);
+  level.gates.emplace_back(1, 2, GateOp::CompareAsc);
+  EXPECT_THROW(net.add_level(std::move(level)), std::invalid_argument);
+}
+
+TEST(ComparatorNetwork, OutOfRangeEndpointRejected) {
+  ComparatorNetwork net(4);
+  Level level;
+  level.gates.emplace_back(0, 4, GateOp::CompareAsc);
+  EXPECT_THROW(net.add_level(std::move(level)), std::invalid_argument);
+}
+
+TEST(ComparatorNetwork, StoredPassthroughRejected) {
+  ComparatorNetwork net(4);
+  Level level;
+  level.gates.emplace_back(0, 1, GateOp::Passthrough);
+  EXPECT_THROW(net.add_level(std::move(level)), std::invalid_argument);
+}
+
+TEST(ComparatorNetwork, CountsSeparateComparatorsFromExchanges) {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::Exchange)});
+  net.add_level({Gate(1, 2, GateOp::CompareDesc)});
+  EXPECT_EQ(net.depth(), 2u);
+  EXPECT_EQ(net.comparator_count(), 2u);
+  EXPECT_EQ(net.gate_count(), 3u);
+}
+
+TEST(ComparatorNetwork, OutputIsPermutationOfInput) {
+  Prng rng(21);
+  ComparatorNetwork net(8);
+  for (int l = 0; l < 5; ++l) {
+    Level level;
+    std::vector<wire_t> wires(8);
+    std::iota(wires.begin(), wires.end(), 0u);
+    shuffle_in_place(wires, rng);
+    for (int k = 0; k < 3; ++k)
+      level.gates.emplace_back(wires[2 * k], wires[2 * k + 1],
+                               rng.chance(1, 2) ? GateOp::CompareAsc
+                                                : GateOp::CompareDesc);
+    net.add_level(std::move(level));
+  }
+  const auto input = random_permutation(8, rng);
+  auto out = net.evaluate(
+      std::vector<wire_t>(input.image().begin(), input.image().end()));
+  std::sort(out.begin(), out.end());
+  for (wire_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ComparatorNetwork, EvaluateLevelsMatchesFullEvaluation) {
+  Prng rng(22);
+  ComparatorNetwork net(8);
+  for (int l = 0; l < 4; ++l) {
+    Level level;
+    level.gates.emplace_back(rng.below(4), 4 + rng.below(4), GateOp::CompareAsc);
+    net.add_level(std::move(level));
+  }
+  const auto input = random_permutation(8, rng);
+  std::vector<wire_t> stepped(input.image().begin(), input.image().end());
+  for (std::size_t l = 0; l < net.depth(); ++l)
+    net.evaluate_levels_in_place(l, l + 1, std::span<wire_t>(stepped));
+  const auto full = net.evaluate(
+      std::vector<wire_t>(input.image().begin(), input.image().end()));
+  EXPECT_EQ(stepped, full);
+}
+
+TEST(ComparatorNetwork, SliceExtractsLevels) {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  net.add_level({Gate(2, 3, GateOp::CompareAsc)});
+  net.add_level({Gate(1, 2, GateOp::CompareAsc)});
+  const auto middle = net.slice(1, 2);
+  EXPECT_EQ(middle.depth(), 1u);
+  EXPECT_EQ(middle.level(0).gates[0], Gate(2, 3, GateOp::CompareAsc));
+  EXPECT_THROW(net.slice(2, 1), std::out_of_range);
+  EXPECT_THROW(net.slice(0, 4), std::out_of_range);
+}
+
+TEST(ComparatorNetwork, AppendConcatenates) {
+  ComparatorNetwork a(4), b(4);
+  a.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  b.add_level({Gate(2, 3, GateOp::CompareAsc)});
+  a.append(b);
+  EXPECT_EQ(a.depth(), 2u);
+  ComparatorNetwork c(8);
+  EXPECT_THROW(a.append(c), std::invalid_argument);
+}
+
+TEST(ComparatorNetwork, ObserverSeesEveryComparisonButNotExchanges) {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::Exchange)});
+  net.add_level({Gate(1, 2, GateOp::CompareDesc)});
+  struct Counter {
+    int count = 0;
+    void on_compare(std::size_t, const Gate&, const int&, const int&) {
+      ++count;
+    }
+  } counter;
+  std::vector<int> v{3, 1, 2, 0};
+  net.evaluate_in_place(std::span<int>(v), std::less<int>{}, counter);
+  EXPECT_EQ(counter.count, 2);
+}
+
+TEST(ComparisonRecorder, RecordsSymmetrically) {
+  ComparisonRecorder rec(4);
+  rec.on_compare(0, Gate(0, 1, GateOp::CompareAsc), 2, 3);
+  EXPECT_TRUE(rec.compared(2, 3));
+  EXPECT_TRUE(rec.compared(3, 2));
+  EXPECT_FALSE(rec.compared(0, 1));
+}
+
+TEST(ComparatorNetwork, WidthMismatchThrows) {
+  ComparatorNetwork net(4);
+  std::vector<int> v(3);
+  EXPECT_THROW(net.evaluate_in_place(std::span<int>(v)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,85 @@
+// ASCII diagrams: structure of the rendering, not aesthetics.
+#include "core/diagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "networks/batcher.hpp"
+
+namespace shufflebound {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Diagram, RowCountAndLabels) {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  const auto lines = lines_of(to_diagram(net));
+  ASSERT_EQ(lines.size(), 7u);  // 4 wire rows + 3 gaps
+  EXPECT_EQ(lines[0].substr(0, 1), "0");
+  EXPECT_EQ(lines[2].substr(0, 1), "1");
+  EXPECT_EQ(lines[6].substr(0, 1), "3");
+}
+
+TEST(Diagram, ComparatorEndpointsAndConnector) {
+  ComparatorNetwork net(3);
+  net.add_level({Gate(0, 2, GateOp::CompareAsc)});
+  const auto text = to_diagram(net);
+  const auto lines = lines_of(text);
+  // Endpoints on wires 0 and 2, '|' through the gap rows, '+' crossing
+  // wire 1.
+  EXPECT_NE(lines[0].find('o'), std::string::npos);
+  EXPECT_NE(lines[4].find('o'), std::string::npos);
+  EXPECT_NE(lines[1].find('|'), std::string::npos);
+  EXPECT_NE(lines[2].find('+'), std::string::npos);
+}
+
+TEST(Diagram, DistinctGlyphsPerOp) {
+  ComparatorNetwork net(6);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::CompareDesc),
+                 Gate(4, 5, GateOp::Exchange)});
+  const auto text = to_diagram(net);
+  EXPECT_NE(text.find('o'), std::string::npos);
+  EXPECT_NE(text.find('^'), std::string::npos);
+  EXPECT_NE(text.find('x'), std::string::npos);
+}
+
+TEST(Diagram, OverlappingGatesGetSeparateColumns) {
+  // Gates (0,2) and (1,3) overlap vertically: they must not share a
+  // column, so each wire row gains two gate columns for this level.
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 2, GateOp::CompareAsc), Gate(1, 3, GateOp::CompareAsc)});
+  const auto lines = lines_of(to_diagram(net));
+  // Wire 0's row has exactly one 'o'; wire 1's row exactly one 'o'; and
+  // they are in different columns.
+  const auto col0 = lines[0].find('o');
+  const auto col1 = lines[2].find('o');
+  ASSERT_NE(col0, std::string::npos);
+  ASSERT_NE(col1, std::string::npos);
+  EXPECT_NE(col0, col1);
+}
+
+TEST(Diagram, AllRowsEqualWidth) {
+  const auto net = bitonic_sorting_network(8);
+  const auto lines = lines_of(to_diagram(net));
+  ASSERT_FALSE(lines.empty());
+  for (const auto& line : lines) EXPECT_EQ(line.size(), lines[0].size());
+}
+
+TEST(Diagram, EmptyLevelStaysVisible) {
+  ComparatorNetwork net(2);
+  net.add_level(Level{});
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  const auto lines = lines_of(to_diagram(net));
+  EXPECT_NE(lines[0].find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shufflebound

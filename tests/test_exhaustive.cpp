@@ -1,0 +1,147 @@
+// Exhaustive mini-verification at width 4: iterate over EVERY
+// shuffle-based register network of depth <= 2 (16^2 = 256 networks) and
+// check the core semantic contracts on all of them - model equivalence,
+// pattern evaluation (Definition 3.5), and the Section 2 refutation
+// logic. Small enough to brute-force, broad enough to catch any
+// convention mismatch the random suites might skirt.
+#include <gtest/gtest.h>
+
+#include "core/io.hpp"
+#include "pattern/collision.hpp"
+#include "util/bits.hpp"
+
+namespace shufflebound {
+namespace {
+
+GateOp op_of(std::uint32_t code) {
+  switch (code & 3u) {
+    case 0:
+      return GateOp::CompareAsc;
+    case 1:
+      return GateOp::CompareDesc;
+    case 2:
+      return GateOp::Exchange;
+    default:
+      return GateOp::Passthrough;
+  }
+}
+
+RegisterNetwork make_network(std::uint32_t code, std::size_t depth) {
+  RegisterNetwork net(4);
+  for (std::size_t s = 0; s < depth; ++s) {
+    net.add_shuffle_step({op_of(code), op_of(code >> 2)});
+    code >>= 4;
+  }
+  return net;
+}
+
+std::vector<Permutation> all_inputs_4() {
+  std::vector<Permutation> inputs;
+  std::vector<wire_t> image{0, 1, 2, 3};
+  do {
+    inputs.emplace_back(image);
+  } while (std::next_permutation(image.begin(), image.end()));
+  return inputs;
+}
+
+TEST(Exhaustive4, ModelEquivalenceForAllDepthTwoNetworks) {
+  const auto inputs = all_inputs_4();
+  for (std::uint32_t code = 0; code < 256; ++code) {
+    const RegisterNetwork net = make_network(code, 2);
+    const FlattenedNetwork flat = register_to_circuit(net);
+    for (const auto& input : inputs) {
+      const auto reg_out = net.evaluate(
+          std::vector<wire_t>(input.image().begin(), input.image().end()));
+      auto circ = std::vector<wire_t>(input.image().begin(),
+                                      input.image().end());
+      flat.circuit.evaluate_in_place(std::span<wire_t>(circ));
+      for (wire_t r = 0; r < 4; ++r)
+        ASSERT_EQ(reg_out[r], circ[flat.register_to_wire[r]])
+            << "code " << code;
+    }
+  }
+}
+
+TEST(Exhaustive4, SerializationRoundTripForAllDepthTwoNetworks) {
+  for (std::uint32_t code = 0; code < 256; ++code) {
+    const RegisterNetwork net = make_network(code, 2);
+    const RegisterNetwork parsed = register_from_text(to_text(net));
+    ASSERT_EQ(parsed.depth(), net.depth());
+    for (std::size_t s = 0; s < 2; ++s) {
+      ASSERT_EQ(parsed.step(s).ops, net.step(s).ops) << "code " << code;
+      ASSERT_EQ(parsed.step(s).perm, net.step(s).perm);
+    }
+  }
+}
+
+TEST(Exhaustive4, Definition35SetEqualityForAllDepthOneNetworks) {
+  // Lambda(p)[V] must equal Lambda(p[V]) for every 1-step network, with
+  // p = [M0 S0 M0 L0].
+  const InputPattern p({sym_M(0), sym_S(0), sym_M(0), sym_L(0)});
+  const auto refinements = all_refinement_inputs(p);
+  for (std::uint32_t code = 0; code < 16; ++code) {
+    const RegisterNetwork net = make_network(code, 1);
+    const FlattenedNetwork flat = register_to_circuit(net);
+    const InputPattern out_pattern = evaluate_pattern(flat.circuit, p);
+    for (const auto& input : refinements) {
+      auto v = std::vector<wire_t>(input.image().begin(), input.image().end());
+      flat.circuit.evaluate_in_place(std::span<wire_t>(v));
+      ASSERT_TRUE(refines_to_input(out_pattern, Permutation(v)))
+          << "code " << code;
+    }
+  }
+}
+
+TEST(Exhaustive4, NoDepthTwoShuffleNetworkSorts) {
+  // Corroborates the exact-search result that the width-4 minimum is 3:
+  // every one of the 256 depth-2 networks fails on some permutation.
+  const auto inputs = all_inputs_4();
+  for (std::uint32_t code = 0; code < 256; ++code) {
+    const RegisterNetwork net = make_network(code, 2);
+    bool sorts_everything = true;
+    for (const auto& input : inputs) {
+      const auto out = net.evaluate(
+          std::vector<wire_t>(input.image().begin(), input.image().end()));
+      bool sorted = true;
+      for (wire_t r = 0; r + 1 < 4; ++r) sorted = sorted && out[r] <= out[r + 1];
+      if (!sorted) {
+        sorts_everything = false;
+        break;
+      }
+    }
+    ASSERT_FALSE(sorts_everything) << "code " << code;
+  }
+}
+
+TEST(Exhaustive4, CollisionVerdictsConsistentAcrossAllDepthTwoNetworks) {
+  // Structural sanity of the oracle on every network: Collide and
+  // CannotCollide verdicts under the all-M pattern must be stable under
+  // refinement to any single concrete input.
+  const InputPattern all_m(4, sym_M(0));
+  for (std::uint32_t code = 0; code < 256; code += 7) {  // sampled stride
+    const RegisterNetwork net = make_network(code, 2);
+    const FlattenedNetwork flat = register_to_circuit(net);
+    const CollisionOracle oracle(flat.circuit, all_m);
+    for (const auto& input : all_inputs_4()) {
+      ComparisonRecorder recorder(4);
+      auto v = std::vector<wire_t>(input.image().begin(), input.image().end());
+      flat.circuit.evaluate_in_place(std::span<wire_t>(v),
+                                     std::less<wire_t>{}, recorder);
+      for (wire_t a = 0; a < 4; ++a) {
+        for (wire_t b = a + 1; b < 4; ++b) {
+          const bool compared = recorder.compared(input[a], input[b]);
+          const auto verdict = oracle.verdict(a, b);
+          if (verdict == CollisionVerdict::Collide) {
+            ASSERT_TRUE(compared);
+          }
+          if (verdict == CollisionVerdict::CannotCollide) {
+            ASSERT_FALSE(compared);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,41 @@
+// Pattern / symbol text round-trips.
+#include "pattern/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shufflebound {
+namespace {
+
+TEST(SymbolFormat, RoundTripsEveryKind) {
+  for (const PatternSymbol s :
+       {sym_S(0), sym_S(17), sym_M(0), sym_M(3), sym_L(0), sym_L(9),
+        sym_X(0, 0), sym_X(4, 12)}) {
+    EXPECT_EQ(symbol_from_text(to_string(s)), s) << to_string(s);
+  }
+}
+
+TEST(SymbolFormat, RejectsGarbage) {
+  for (const char* bad : {"", "S", "Q3", "X3", "X3;4", "Mx", "L-1x"}) {
+    EXPECT_THROW(symbol_from_text(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(PatternFormat, RoundTrip) {
+  const InputPattern p({sym_S(0), sym_M(0), sym_X(2, 5), sym_L(1)});
+  EXPECT_EQ(pattern_from_text(to_text(p)), p);
+}
+
+TEST(PatternFormat, ParsesWhitespaceVariants) {
+  const InputPattern p = pattern_from_text("  S0\tM0\n L0 ");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], sym_S(0));
+  EXPECT_EQ(p[1], sym_M(0));
+  EXPECT_EQ(p[2], sym_L(0));
+}
+
+TEST(PatternFormat, EmptyTextGivesEmptyPattern) {
+  EXPECT_EQ(pattern_from_text("").size(), 0u);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,154 @@
+// Robustness fuzzing of every text parser: random corruption of valid
+// artifacts and raw random bytes must produce clean std::invalid_argument
+// failures (or valid parses), never crashes or silent misreads.
+#include <gtest/gtest.h>
+
+#include "adversary/certificate.hpp"
+#include "adversary/refuter.hpp"
+#include "core/io.hpp"
+#include "networks/rdn_io.hpp"
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "pattern/format.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+std::string mutate(std::string text, Prng& rng, int edits) {
+  static const char kNoise[] = "0123456789 +-x\nlevend circuit#;,";
+  for (int e = 0; e < edits; ++e) {
+    if (text.empty()) break;
+    const std::size_t pos = rng.below(text.size());
+    switch (rng.below(3)) {
+      case 0:
+        text[pos] = kNoise[rng.below(sizeof(kNoise) - 1)];
+        break;
+      case 1:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.insert(pos, 1, kNoise[rng.below(sizeof(kNoise) - 1)]);
+        break;
+    }
+  }
+  return text;
+}
+
+template <typename ParseFn>
+void fuzz_parser(const std::string& seed_text, ParseFn parse, int rounds,
+                 std::uint64_t seed) {
+  Prng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    const std::string corrupted =
+        mutate(seed_text, rng, 1 + static_cast<int>(rng.below(8)));
+    try {
+      parse(corrupted);  // a valid parse is fine; a throw is fine
+    } catch (const std::invalid_argument&) {
+      // expected failure mode
+    } catch (const std::out_of_range&) {
+      // stoul overflow on giant numerals - acceptable rejection
+    }
+    // Anything else (segfault, std::bad_alloc storm, logic_error)
+    // escapes and fails the test.
+  }
+}
+
+TEST(Fuzz, CircuitParserSurvivesCorruption) {
+  const std::string seed_text = to_text(bitonic_sorting_network(8));
+  fuzz_parser(seed_text,
+              [](const std::string& t) { (void)circuit_from_text(t); }, 500,
+              1);
+}
+
+TEST(Fuzz, RegisterParserSurvivesCorruption) {
+  Prng rng(2);
+  const std::string seed_text = to_text(random_shuffle_network(8, 4, rng));
+  fuzz_parser(seed_text,
+              [](const std::string& t) { (void)register_from_text(t); }, 500,
+              3);
+}
+
+TEST(Fuzz, PatternParserSurvivesCorruption) {
+  fuzz_parser("S0 M0 X1,2 M3 L0 L1",
+              [](const std::string& t) { (void)pattern_from_text(t); }, 500,
+              4);
+}
+
+TEST(Fuzz, CertificateParserSurvivesCorruption) {
+  Prng rng(5);
+  const RegisterNetwork net = random_shuffle_network(16, 5, rng);
+  const auto refutation = refute(net);
+  ASSERT_EQ(refutation.status, RefutationStatus::Refuted);
+  const std::string seed_text = to_text(*refutation.certificate);
+  fuzz_parser(seed_text,
+              [](const std::string& t) { (void)certificate_from_text(t); },
+              500, 6);
+}
+
+TEST(Fuzz, IteratedParserSurvivesCorruption) {
+  Prng rng(9);
+  const std::uint32_t d = 3;
+  IteratedRdn net(8);
+  Prng build(10);
+  net.add_stage({Permutation::identity(8), random_rdn(d, build, 10, 5)});
+  net.add_stage({random_permutation(8, build), random_rdn(d, build, 10, 5)});
+  const std::string seed_text = to_text(net);
+  fuzz_parser(seed_text,
+              [](const std::string& t) { (void)iterated_from_text(t); }, 500,
+              11);
+}
+
+TEST(Fuzz, RawGarbageRejectedEverywhere) {
+  Prng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage(rng.below(120), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.below(256));
+    EXPECT_THROW(
+        {
+          try {
+            (void)circuit_from_text(garbage);
+          } catch (const std::out_of_range&) {
+            throw std::invalid_argument("overflow");
+          }
+        },
+        std::invalid_argument);
+    EXPECT_THROW(
+        {
+          try {
+            (void)register_from_text(garbage);
+          } catch (const std::out_of_range&) {
+            throw std::invalid_argument("overflow");
+          }
+        },
+        std::invalid_argument);
+    EXPECT_THROW((void)certificate_from_text(garbage), std::invalid_argument);
+  }
+}
+
+TEST(Fuzz, ParsedValidCircuitsStayValid) {
+  // When corruption happens to parse, the result must still satisfy the
+  // network invariants (disjoint levels etc.) - probed by evaluating.
+  Prng rng(8);
+  const std::string seed_text = to_text(odd_even_mergesort_network(8));
+  for (int round = 0; round < 300; ++round) {
+    const std::string corrupted = mutate(seed_text, rng, 3);
+    ComparatorNetwork net;
+    try {
+      net = circuit_from_text(corrupted);
+    } catch (const std::exception&) {
+      continue;
+    }
+    // Evaluation on a valid input must produce a permutation.
+    Prng rng2(round);
+    if (net.width() == 0) continue;
+    const auto input = random_permutation(net.width(), rng2);
+    auto out = net.evaluate(
+        std::vector<wire_t>(input.image().begin(), input.image().end()));
+    std::sort(out.begin(), out.end());
+    for (wire_t i = 0; i < net.width(); ++i) ASSERT_EQ(out[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace shufflebound

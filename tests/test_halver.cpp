@@ -1,0 +1,78 @@
+// Epsilon-halvers: construction shape and measurement semantics.
+#include "networks/halver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "networks/batcher.hpp"
+#include "networks/rdn.hpp"
+#include "util/bits.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(Halver, ConstructionShape) {
+  Prng rng(1);
+  const auto net = random_matching_halver(16, 3, rng);
+  EXPECT_EQ(net.depth(), 3u);
+  EXPECT_EQ(net.comparator_count(), 3u * 8u);
+  for (const Level& level : net.levels()) {
+    for (const Gate& g : level.gates) {
+      EXPECT_LT(g.lo, 8u);   // one endpoint in the lower half
+      EXPECT_GE(g.hi, 8u);   // one in the upper half
+      EXPECT_EQ(g.op, GateOp::CompareAsc);  // min to the lower half
+    }
+  }
+}
+
+TEST(Halver, RejectsOddWidth) {
+  Prng rng(2);
+  EXPECT_THROW(random_matching_halver(5, 2, rng), std::invalid_argument);
+}
+
+TEST(Halver, EmptyNetworkHasEpsilonOne) {
+  // With no comparators, the input (all ones downstairs) stays fully
+  // misplaced.
+  EXPECT_DOUBLE_EQ(measure_halver_epsilon_exact(ComparatorNetwork(8)), 1.0);
+}
+
+TEST(Halver, SorterIsAPerfectHalver) {
+  EXPECT_DOUBLE_EQ(
+      measure_halver_epsilon_exact(bitonic_sorting_network(8)), 0.0);
+}
+
+TEST(Halver, EpsilonDecreasesWithDegree) {
+  Prng rng(3);
+  const double d1 =
+      measure_halver_epsilon_exact(random_matching_halver(16, 1, rng));
+  const double d8 =
+      measure_halver_epsilon_exact(random_matching_halver(16, 8, rng));
+  EXPECT_LT(d8, d1);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+}
+
+TEST(Halver, SampledNeverExceedsExact) {
+  Prng rng(4);
+  const auto net = random_matching_halver(12, 3, rng);
+  const double exact = measure_halver_epsilon_exact(net);
+  Prng sampler(5);
+  const double sampled = measure_halver_epsilon_sampled(net, 5000, sampler);
+  EXPECT_LE(sampled, exact + 1e-12);
+  EXPECT_GE(sampled, 0.0);
+}
+
+TEST(Halver, ButterflyIsNoBetterThanOneMatching) {
+  // Regular wiring does not help halving: the depth-lg n butterfly has
+  // worst-case epsilon 1/2, like a single random matching.
+  const auto chunk = butterfly_rdn(4);
+  EXPECT_DOUBLE_EQ(measure_halver_epsilon_exact(chunk.net), 0.5);
+}
+
+TEST(Halver, ExactMeasurementWidthGuard) {
+  Prng rng(6);
+  const auto big = random_matching_halver(26, 1, rng);
+  EXPECT_THROW(measure_halver_epsilon_exact(big), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shufflebound

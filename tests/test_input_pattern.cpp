@@ -1,0 +1,155 @@
+// Input patterns and refinement laws (Definitions 3.1 - 3.3, Examples
+// 3.1 / 3.2 of the paper).
+#include "pattern/input_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+InputPattern make(std::vector<PatternSymbol> symbols) {
+  return InputPattern(std::move(symbols));
+}
+
+TEST(InputPattern, SetOfAndCount) {
+  const auto p = make({sym_L(0), sym_L(0), sym_M(0), sym_S(0)});
+  EXPECT_EQ(p.set_of(sym_L(0)), (std::vector<wire_t>{0, 1}));
+  EXPECT_EQ(p.count_of(sym_M(0)), 1u);
+  EXPECT_EQ(p.count_of(sym_X(0, 0)), 0u);
+}
+
+TEST(Refines, ReflexiveAndOnEquivalentRenaming) {
+  // Example 3.2: shifting all indices by a constant is order-preserving.
+  const auto p = make({sym_M(0), sym_M(1), sym_M(2)});
+  const auto shifted = make({sym_M(5), sym_M(6), sym_M(7)});
+  EXPECT_TRUE(refines(p, p));
+  EXPECT_TRUE(refines(p, shifted));
+  EXPECT_TRUE(refines(shifted, p));
+  EXPECT_TRUE(equivalent(p, shifted));
+}
+
+TEST(Refines, Example31FromPaper) {
+  // p assigns L to w0,w1 and M to the rest; p' additionally sends w2 to S.
+  const auto p = make({sym_L(0), sym_L(0), sym_M(0), sym_M(0), sym_M(0)});
+  const auto p_prime = make({sym_L(0), sym_L(0), sym_S(0), sym_M(0), sym_M(0)});
+  EXPECT_TRUE(refines(p, p_prime));
+  EXPECT_FALSE(refines(p_prime, p));
+}
+
+TEST(Refines, SplittingAnEquivalenceClassIsARefinement) {
+  const auto coarse = make({sym_M(0), sym_M(0), sym_M(0)});
+  const auto fine = make({sym_M(0), sym_M(1), sym_M(0)});
+  EXPECT_TRUE(refines(coarse, fine));
+  EXPECT_FALSE(refines(fine, coarse));
+}
+
+TEST(Refines, OrderReversalIsNotARefinement) {
+  const auto coarse = make({sym_S(0), sym_L(0)});
+  const auto reversed = make({sym_L(0), sym_S(0)});
+  EXPECT_FALSE(refines(coarse, reversed));
+}
+
+TEST(Refines, DemotionToGraveyardIsARefinement) {
+  // The adversary's step 2: one M_i occurrence drops to X_{i, fresh}.
+  const auto before = make({sym_M(2), sym_M(2), sym_M(1), sym_L(0)});
+  const auto after = make({sym_X(2, 0), sym_M(2), sym_M(1), sym_L(0)});
+  EXPECT_TRUE(refines(before, after));
+  EXPECT_FALSE(refines(after, before));
+}
+
+TEST(Refines, TransitivityOnRandomChains) {
+  // coarse -> mid (split one class) -> fine (split another): both steps
+  // and the composite must hold.
+  const auto coarse = make({sym_M(0), sym_M(0), sym_M(0), sym_M(0)});
+  const auto mid = make({sym_M(0), sym_M(1), sym_M(0), sym_M(1)});
+  const auto fine = make({sym_M(0), sym_M(1), sym_X(1, 0), sym_M(1)});
+  EXPECT_TRUE(refines(coarse, mid));
+  EXPECT_TRUE(refines(mid, fine));
+  EXPECT_TRUE(refines(coarse, fine));
+}
+
+TEST(Refines, SizeMismatchIsNotARefinement) {
+  EXPECT_FALSE(refines(make({sym_M(0)}), make({sym_M(0), sym_M(0)})));
+}
+
+TEST(RefinesToInput, MatchesDefinition) {
+  const auto p = make({sym_L(0), sym_L(0), sym_M(0), sym_M(0)});
+  // L wires must carry the two largest values.
+  EXPECT_TRUE(refines_to_input(p, Permutation({2, 3, 0, 1})));
+  EXPECT_TRUE(refines_to_input(p, Permutation({3, 2, 1, 0})));
+  EXPECT_FALSE(refines_to_input(p, Permutation({0, 3, 1, 2})));
+}
+
+TEST(URefines, FreezesWiresOutsideU) {
+  const auto coarse = make({sym_M(0), sym_M(0), sym_S(0)});
+  const auto fine_ok = make({sym_M(0), sym_M(1), sym_S(0)});
+  const auto fine_bad = make({sym_M(0), sym_M(1), sym_S(1)});
+  const std::vector<wire_t> u{0, 1};
+  EXPECT_TRUE(u_refines(coarse, fine_ok, u));
+  EXPECT_FALSE(u_refines(coarse, fine_bad, u));  // w2 changed outside U
+}
+
+TEST(Linearize, RespectsSymbolOrder) {
+  const auto p = make({sym_L(0), sym_S(0), sym_M(0), sym_M(0)});
+  const auto input = linearize(p);
+  EXPECT_EQ(input[1], 0u);                 // S lowest
+  EXPECT_EQ(input[0], 3u);                 // L highest
+  EXPECT_TRUE(refines_to_input(p, input));
+}
+
+TEST(Linearize, AdjacentConstraint) {
+  const auto p = make({sym_M(0), sym_S(0), sym_M(0), sym_M(0), sym_L(0)});
+  const auto input = linearize(p, std::make_pair<wire_t, wire_t>(3, 0));
+  EXPECT_EQ(input[0], input[3] + 1);  // w0=3 gets m, w1=0 gets m+1
+  EXPECT_TRUE(refines_to_input(p, input));
+}
+
+TEST(Linearize, AdjacentRequiresEqualSymbols) {
+  const auto p = make({sym_M(0), sym_S(0)});
+  EXPECT_THROW(linearize(p, std::make_pair<wire_t, wire_t>(0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(linearize(p, std::make_pair<wire_t, wire_t>(0, 0)),
+               std::invalid_argument);
+}
+
+TEST(RefinementEnumeration, CountMatchesFactorialProduct) {
+  const auto p = make({sym_M(0), sym_M(0), sym_M(0), sym_L(0), sym_L(0)});
+  EXPECT_EQ(refinement_input_count(p), 6u * 2u);
+  EXPECT_EQ(all_refinement_inputs(p).size(), 12u);
+}
+
+TEST(RefinementEnumeration, EveryEnumeratedInputRefinesThePattern) {
+  const auto p = make({sym_S(0), sym_M(0), sym_M(0), sym_L(0)});
+  const auto inputs = all_refinement_inputs(p);
+  EXPECT_EQ(inputs.size(), 2u);
+  for (const auto& input : inputs) EXPECT_TRUE(refines_to_input(p, input));
+}
+
+TEST(RefinementEnumeration, DistinctSymbolsGiveSingleInput) {
+  const auto p = make({sym_M(1), sym_M(0), sym_L(0), sym_S(0)});
+  const auto inputs = all_refinement_inputs(p);
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0], Permutation({2, 1, 3, 0}));
+}
+
+TEST(RefinementEnumeration, AllMPatternEnumeratesEverything) {
+  const auto p = InputPattern(4, sym_M(0));
+  EXPECT_EQ(all_refinement_inputs(p).size(), 24u);
+}
+
+TEST(RefinementSemantics, RefinementShrinksInputSet) {
+  // (p0 refines-to p1) <=> p0[V] contains p1[V] - checked by enumeration.
+  const auto p0 = make({sym_M(0), sym_M(0), sym_L(0)});
+  const auto p1 = make({sym_M(0), sym_M(1), sym_L(0)});
+  ASSERT_TRUE(refines(p0, p1));
+  const auto v0 = all_refinement_inputs(p0);
+  const auto v1 = all_refinement_inputs(p1);
+  EXPECT_GT(v0.size(), v1.size());
+  for (const auto& input : v1)
+    EXPECT_NE(std::find(v0.begin(), v0.end(), input), v0.end());
+}
+
+}  // namespace
+}  // namespace shufflebound

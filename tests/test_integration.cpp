@@ -1,0 +1,212 @@
+// Cross-module integration: the complete lower-bound pipeline of the
+// paper, plus consistency checks between independent implementations of
+// the same mathematical objects.
+#include <gtest/gtest.h>
+
+#include "adversary/naive.hpp"
+#include "adversary/theorem41.hpp"
+#include "adversary/witness.hpp"
+#include "analysis/sortedness.hpp"
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "pattern/collision.hpp"
+#include "routing/benes.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(Integration, FullPipelineOnRecognizedNetwork) {
+  // Build a shuffle network, flatten it, RECOGNIZE the RDN structure from
+  // the bare circuit (no builder metadata), run the adversary on the
+  // recognized tree, and verify the witness on the original register
+  // network. This exercises recognition as an independent path into the
+  // lower bound.
+  Prng rng(5001);
+  const wire_t n = 16;
+  const std::uint32_t d = 4;
+  const RegisterNetwork reg = random_shuffle_network(n, d, rng, {10, 10});
+  const auto flat = register_to_circuit(reg);
+  const auto tree = recognize_rdn(flat.circuit);
+  ASSERT_TRUE(tree.has_value());
+
+  IteratedRdn net(n);
+  net.add_stage({Permutation::identity(n), RdnChunk{flat.circuit, *tree}});
+  const AdversaryResult r = run_adversary(net);
+  ASSERT_GE(r.survivors.size(), 2u);
+  const auto w = extract_witness(r);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(check_witness(reg, *w).refutes_sorting());
+}
+
+TEST(Integration, AdversaryConsistentAcrossTreeChoices) {
+  // The same circuit admits (at least) two valid trees: the analytic
+  // shuffle tree and the recognized one. Both must yield valid witnesses.
+  Prng rng(5002);
+  const wire_t n = 16;
+  const RegisterNetwork reg = random_shuffle_network(n, 4, rng, {20, 5});
+  const auto flat = register_to_circuit(reg);
+
+  for (const RdnTree& tree :
+       {RdnTree::shuffle_chunk(4), *recognize_rdn(flat.circuit)}) {
+    IteratedRdn net(n);
+    net.add_stage({Permutation::identity(n), RdnChunk{flat.circuit, tree}});
+    const AdversaryResult r = run_adversary(net);
+    ASSERT_GE(r.survivors.size(), 2u);
+    const auto w = extract_witness(r);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_TRUE(check_witness(reg, *w).refutes_sorting());
+  }
+}
+
+TEST(Integration, WitnessSurvivesBenesMaterialization) {
+  // Replacing the free inter-chunk permutations by Benes exchange levels
+  // must not create any new comparisons: the witness still refutes.
+  Prng rng(5003);
+  const wire_t n = 16;
+  const auto net = make_iterated_rdn(
+      n, 2, [&](std::size_t) { return random_rdn(4, rng, 10, 5); },
+      [&](std::size_t c) {
+        return c == 0 ? Permutation::identity(n) : random_permutation(n, rng);
+      });
+  const AdversaryResult r = run_adversary(net);
+  ASSERT_GE(r.survivors.size(), 2u);
+  const auto w = extract_witness(r);
+  ASSERT_TRUE(w.has_value());
+  const auto materialized = materialize_with_benes(net);
+  EXPECT_TRUE(check_witness(materialized.circuit, *w).refutes_sorting());
+}
+
+TEST(Integration, BitonicPrefixFailsAndFullSorts) {
+  // Witnesses against every proper lg n-step-aligned prefix of Stone's
+  // shuffle-based bitonic sorter; the full network sorts and admits none.
+  const wire_t n = 16;
+  const std::uint32_t d = 4;
+  const RegisterNetwork full = bitonic_on_shuffle(n);
+  ASSERT_EQ(full.depth(), 16u);
+  for (std::size_t chunks = 1; chunks < 4; ++chunks) {
+    RegisterNetwork prefix(n);
+    for (std::size_t s = 0; s < chunks * d; ++s) prefix.add_step(full.step(s));
+    const AdversaryResult r = run_adversary(shuffle_to_iterated_rdn(prefix));
+    ASSERT_GE(r.survivors.size(), 2u) << chunks << " chunks";
+    const auto w = extract_witness(r);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_TRUE(check_witness(prefix, *w).refutes_sorting());
+    EXPECT_FALSE(zero_one_check(prefix).sorts_all);
+  }
+  // The full sorter: the adversary's survivor set collapses below 2, as
+  // Corollary 4.1.1 demands for d >= lg n/(4 lg lg n) stages.
+  const AdversaryResult full_run = run_adversary(shuffle_to_iterated_rdn(full));
+  EXPECT_LT(full_run.survivors.size(), 2u);
+  EXPECT_TRUE(zero_one_check(full).sorts_all);
+}
+
+TEST(Integration, NaiveAndMultisetAgreeOnNoncollisionSemantics) {
+  // Both adversaries produce patterns whose [M_0]-sets are noncolliding;
+  // cross-check both against the oracle on the same small network.
+  Prng rng(5004);
+  const RegisterNetwork reg = random_shuffle_network(8, 3, rng, {25, 10});
+  const auto flat = register_to_circuit(reg);
+  const auto naive = naive_adversary(flat.circuit);
+  if (naive.survivors.size() >= 2 &&
+      refinement_input_count(naive.pattern) <= 2'000'000) {
+    const CollisionOracle oracle(flat.circuit, naive.pattern);
+    EXPECT_TRUE(oracle.noncolliding(naive.survivors));
+  }
+  const auto rdn = shuffle_to_iterated_rdn(reg);
+  const auto multi = run_adversary(rdn, 2);
+  if (multi.survivors.size() >= 2 &&
+      refinement_input_count(multi.input_pattern) <= 2'000'000) {
+    const CollisionOracle oracle(rdn, multi.input_pattern);
+    EXPECT_TRUE(oracle.noncolliding(multi.survivors));
+  }
+}
+
+TEST(Integration, MultisetBeatsNaiveOnDeepNetworks) {
+  // The raison d'etre of Lemma 4.1: on iterated dense butterflies the
+  // naive adversary dies after ~lg n levels while the multi-set adversary
+  // keeps >= 2 survivors for Theta(lg n / lg lg n) chunks.
+  const wire_t n = 64;
+  const std::uint32_t d = 6;
+  IteratedRdn net(n);
+  for (int c = 0; c < 2; ++c)
+    net.add_stage({Permutation::identity(n), butterfly_rdn(d)});
+  const auto flat = net.flatten();
+  const auto naive = naive_adversary(flat.circuit);
+  const auto multi = run_adversary(net);
+  EXPECT_LE(naive.survivors.size(), 1u);
+  EXPECT_GE(multi.survivors.size(), 2u);
+}
+
+TEST(Integration, AdaptiveAdversaryDefeatsGreedyLabeling) {
+  // Section 5: the lower bound holds even when each level's labeling is
+  // chosen adaptively. The "algorithm" here plays greedily against the
+  // adversary: at every level it aims comparators at the largest
+  // surviving sets (it can see the adversary's bookkeeping!). The
+  // adversary still ends the chunk with sets obeying property (4).
+  const std::uint32_t d = 5;
+  const wire_t n = 32;
+  const std::uint32_t k = 3;
+  const RdnTree tree = RdnTree::contiguous(d);
+  Lemma41Driver driver(tree, InputPattern(n, sym_M(0)), k);
+  ComparatorNetwork built(n);
+  for (std::uint32_t m = 1; m <= d; ++m) {
+    Level level;
+    for (const int id : tree.nodes_at_level(m)) {
+      const auto& node = tree.node(id);
+      const auto& left = tree.node(node.left).wires;
+      const auto& right = tree.node(node.right).wires;
+      // Greedy: compare positionally aligned wires - on contiguous trees
+      // this maximizes intra-set collisions early.
+      for (std::size_t i = 0; i < left.size(); ++i)
+        level.gates.emplace_back(left[i], right[i], GateOp::CompareAsc);
+    }
+    driver.feed_level(level);
+    built.add_level(level);
+  }
+  const Lemma41Result r = std::move(driver).finish();
+  const double bound =
+      static_cast<double>(n) -
+      static_cast<double>(d) * n / (static_cast<double>(k) * k);
+  EXPECT_GE(static_cast<double>(r.stats.retained), bound);
+  // And the result is a genuine Lemma 4.1 certificate for the assembled
+  // network, checked by sampling.
+  Prng rng(5005);
+  for (const auto& set : r.sets) {
+    if (set.size() < 2) continue;
+    EXPECT_TRUE(noncolliding_under_all_linearizations_sample(built, r.refined,
+                                                             set, rng, 20));
+  }
+}
+
+TEST(Integration, BrokenSorterCaughtByBothCertifiers) {
+  // A bitonic sorter with one comparator knocked out: the 0-1 principle
+  // finds a failing vector, and Monte-Carlo estimation sees < 1.0.
+  BatchEvaluator evaluator(2);
+  const auto broken = drop_one_comparator(bitonic_sorting_network(16), 40);
+  EXPECT_FALSE(is_sorting_network(broken));
+  EXPECT_LT(estimate_sorted_fraction(evaluator, broken, 400, 3), 1.0);
+}
+
+TEST(Integration, RegisterAndCircuitWitnessChecksAgree) {
+  Prng rng(5006);
+  const RegisterNetwork reg = random_shuffle_network(32, 5, rng);
+  const auto rdn = shuffle_to_iterated_rdn(reg);
+  const AdversaryResult r = run_adversary(rdn);
+  ASSERT_GE(r.survivors.size(), 2u);
+  const auto w = extract_witness(r);
+  ASSERT_TRUE(w.has_value());
+  const auto a = check_witness(reg, *w);
+  const auto b = check_witness(rdn, *w);
+  const auto c = check_witness(register_to_circuit(reg).circuit, *w);
+  EXPECT_EQ(a.never_compared, b.never_compared);
+  EXPECT_EQ(b.never_compared, c.never_compared);
+  EXPECT_EQ(a.same_permutation, b.same_permutation);
+  EXPECT_EQ(b.same_permutation, c.same_permutation);
+  EXPECT_TRUE(a.refutes_sorting());
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,125 @@
+// Network serialization: text round-trips, parse errors, DOT export.
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "networks/batcher.hpp"
+#include "networks/classic.hpp"
+#include "networks/shuffle.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(CircuitText, RoundTripsBatcher) {
+  for (const wire_t n : {2u, 8u, 16u}) {
+    const auto net = bitonic_sorting_network(n);
+    EXPECT_EQ(circuit_from_text(to_text(net)), net);
+  }
+}
+
+TEST(CircuitText, RoundTripsAllGateKinds) {
+  ComparatorNetwork net(6);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::CompareDesc),
+                 Gate(4, 5, GateOp::Exchange)});
+  net.add_level(Level{});  // empty level must survive
+  net.add_level({Gate(1, 4, GateOp::CompareDesc)});
+  EXPECT_EQ(circuit_from_text(to_text(net)), net);
+}
+
+TEST(CircuitText, ParsesHandWrittenInput) {
+  const auto net = circuit_from_text(R"(
+    # a tiny sorter
+    circuit 2
+    level 0+1
+    end
+  )");
+  EXPECT_EQ(net.width(), 2u);
+  EXPECT_EQ(net.depth(), 1u);
+  EXPECT_EQ(net.level(0).gates[0], Gate(0, 1, GateOp::CompareAsc));
+}
+
+TEST(CircuitText, ParseErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text, const char* fragment) {
+    try {
+      circuit_from_text(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("circuit 4\nlevel 0+1\n", "missing 'end'");
+  expect_error("circuit 4\nbogus\nend\n", "expected 'level' or 'end'");
+  expect_error("circuit 4\nlevel 0?1\nend\n", "malformed gate");
+  expect_error("circuit 4\nlevel 0+9\nend\n", "out of range");
+  expect_error("nonsense 4\nend\n", "expected 'circuit <width>'");
+}
+
+TEST(RegisterText, RoundTripsShuffleNetwork) {
+  Prng rng(1);
+  const auto net = random_shuffle_network(16, 6, rng, {20, 10});
+  const auto parsed = register_from_text(to_text(net));
+  ASSERT_EQ(parsed.depth(), net.depth());
+  for (std::size_t s = 0; s < net.depth(); ++s) {
+    EXPECT_EQ(parsed.step(s).perm, net.step(s).perm);
+    EXPECT_EQ(parsed.step(s).ops, net.step(s).ops);
+  }
+}
+
+TEST(RegisterText, ShuffleStepsUseShorthand) {
+  Prng rng(2);
+  const auto net = random_shuffle_network(8, 2, rng);
+  const std::string text = to_text(net);
+  EXPECT_NE(text.find("step shuffle ; ops"), std::string::npos);
+}
+
+TEST(RegisterText, GeneralPermutationsSpelledOut) {
+  RegisterNetwork net(4);
+  net.add_step({Permutation({2, 3, 0, 1}),
+                {GateOp::CompareAsc, GateOp::Passthrough}});
+  const std::string text = to_text(net);
+  EXPECT_NE(text.find("step perm 2 3 0 1 ; ops +0"), std::string::npos);
+  const auto parsed = register_from_text(text);
+  EXPECT_EQ(parsed.step(0).perm, net.step(0).perm);
+  EXPECT_EQ(parsed.step(0).ops, net.step(0).ops);
+}
+
+TEST(RegisterText, ParseErrors) {
+  EXPECT_THROW(register_from_text("register 4\nstep shuffle ; ops +++\nend\n"),
+               std::invalid_argument);  // wrong ops arity
+  EXPECT_THROW(register_from_text("register 4\nstep waffle ; ops ++\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(register_from_text("circuit 4\nend\n"), std::invalid_argument);
+}
+
+TEST(RegisterText, ParsedNetworkComputesSameFunction) {
+  Prng rng(3);
+  const auto net = random_shuffle_network(16, 8, rng, {10, 10});
+  const auto parsed = register_from_text(to_text(net));
+  const auto input = random_permutation(16, rng);
+  EXPECT_EQ(net.evaluate(std::vector<wire_t>(input.image().begin(),
+                                             input.image().end())),
+            parsed.evaluate(std::vector<wire_t>(input.image().begin(),
+                                                input.image().end())));
+}
+
+TEST(Dot, ContainsWiresAndGates) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("w0_0"), std::string::npos);
+  EXPECT_NE(dot.find("w0_1 -> w1_1"), std::string::npos);
+}
+
+TEST(Dot, MarksDescendingAndExchangeGates) {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 1, GateOp::CompareDesc), Gate(2, 3, GateOp::Exchange)});
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("arrowhead=inv"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,123 @@
+// The strict-ascend shuffle machine: parallel prefix, reduction, FFT -
+// the Section 1 motivation for the shuffle-only class, executed.
+#include "machine/ascend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(AscendMachine, PassPresentsDimensionsDescending) {
+  // Record the (dim, x) pairs the op sees; dims must run d-1 .. 0, each
+  // covering all n/2 low endpoints.
+  const wire_t n = 16;
+  std::vector<int> values(n, 0);
+  std::vector<std::vector<wire_t>> seen(4);
+  std::uint32_t expected_dim = 3;
+  std::uint32_t last_dim = 4;
+  ascend_pass<int>(values, [&](std::uint32_t dim, wire_t x, int&, int&) {
+    if (dim != last_dim) {
+      EXPECT_EQ(dim, expected_dim);
+      last_dim = dim;
+      if (expected_dim > 0) --expected_dim;
+    }
+    EXPECT_EQ(get_bit(x, dim), 0u);
+    seen[dim].push_back(x);
+  });
+  for (std::uint32_t dim = 0; dim < 4; ++dim) {
+    EXPECT_EQ(seen[dim].size(), 8u) << "dim " << dim;
+    std::sort(seen[dim].begin(), seen[dim].end());
+    EXPECT_EQ(std::unique(seen[dim].begin(), seen[dim].end()),
+              seen[dim].end());
+  }
+}
+
+TEST(AscendMachine, ValuesReturnHomeAfterAFullPass) {
+  const wire_t n = 32;
+  std::vector<int> values(n);
+  std::iota(values.begin(), values.end(), 100);
+  const auto original = values;
+  ascend_pass<int>(values, [](std::uint32_t, wire_t, int&, int&) {});
+  EXPECT_EQ(values, original);
+}
+
+TEST(PrefixScan, SumMatchesStdInclusiveScan) {
+  Prng rng(1);
+  for (const wire_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    std::vector<long> v(n);
+    for (auto& x : v) x = static_cast<long>(rng.below(1000));
+    const auto scanned =
+        prefix_scan_on_shuffle(v, [](long a, long b) { return a + b; });
+    std::vector<long> expected(n);
+    std::inclusive_scan(v.begin(), v.end(), expected.begin());
+    EXPECT_EQ(scanned, expected) << "n=" << n;
+  }
+}
+
+TEST(PrefixScan, MaxAndNonCommutativeConcat) {
+  const std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto maxes =
+      prefix_scan_on_shuffle(v, [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(maxes, (std::vector<int>{3, 3, 4, 4, 5, 9, 9, 9}));
+  // Associative but non-commutative: string concatenation - exposes any
+  // operand-order mistakes in the scan.
+  const std::vector<std::string> s{"a", "b", "c", "d"};
+  const auto cat = prefix_scan_on_shuffle(
+      s, [](const std::string& a, const std::string& b) { return a + b; });
+  EXPECT_EQ(cat, (std::vector<std::string>{"a", "ab", "abc", "abcd"}));
+}
+
+TEST(Reduce, MatchesAccumulate) {
+  Prng rng(2);
+  std::vector<long> v(128);
+  for (auto& x : v) x = static_cast<long>(rng.below(1 << 20));
+  EXPECT_EQ(reduce_on_shuffle(v, [](long a, long b) { return a + b; }),
+            std::accumulate(v.begin(), v.end(), 0l));
+}
+
+TEST(Fft, MatchesNaiveDftOnRandomInput) {
+  Prng rng(3);
+  for (const wire_t n : {2u, 4u, 8u, 16u, 64u}) {
+    std::vector<std::complex<double>> v(n);
+    for (auto& x : v) x = {rng.uniform01() - 0.5, rng.uniform01() - 0.5};
+    const auto fast = fft_on_shuffle(v);
+    const auto slow = naive_dft(v);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (wire_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-9) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-9) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> v(16, 0.0);
+  v[0] = 1.0;
+  const auto spectrum = fft_on_shuffle(v);
+  for (const auto& x : spectrum) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, LinearityAndParseval) {
+  Prng rng(4);
+  const wire_t n = 32;
+  std::vector<std::complex<double>> v(n);
+  double energy = 0;
+  for (auto& x : v) {
+    x = {rng.uniform01() - 0.5, rng.uniform01() - 0.5};
+    energy += std::norm(x);
+  }
+  const auto spectrum = fft_on_shuffle(v);
+  double spectral = 0;
+  for (const auto& x : spectrum) spectral += std::norm(x);
+  EXPECT_NEAR(spectral, energy * n, 1e-9);  // Parseval (unnormalized)
+}
+
+}  // namespace
+}  // namespace shufflebound

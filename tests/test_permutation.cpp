@@ -1,0 +1,159 @@
+#include "perm/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace shufflebound {
+namespace {
+
+TEST(Permutation, IdentityBasics) {
+  const auto id = Permutation::identity(8);
+  EXPECT_EQ(id.size(), 8u);
+  EXPECT_TRUE(id.is_identity());
+  for (wire_t j = 0; j < 8; ++j) EXPECT_EQ(id(j), j);
+}
+
+TEST(Permutation, RejectsNonBijection) {
+  EXPECT_THROW(Permutation({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation({0, 3}), std::invalid_argument);
+}
+
+TEST(Permutation, ApplyMovesValueToImage) {
+  // out[p(j)] = v[j]: the value at slot j moves to slot p(j).
+  const Permutation p({2, 0, 1});
+  const std::vector<int> v{10, 20, 30};
+  const auto out = p.apply(v);
+  EXPECT_EQ(out, (std::vector<int>{20, 30, 10}));
+}
+
+TEST(Permutation, ComposeThen) {
+  Prng rng(5);
+  const auto a = random_permutation(16, rng);
+  const auto b = random_permutation(16, rng);
+  const auto ab = a.then(b);
+  std::vector<int> v(16);
+  std::iota(v.begin(), v.end(), 0);
+  EXPECT_EQ(ab.apply(v), b.apply(a.apply(v)));
+}
+
+TEST(Permutation, InverseUndoes) {
+  Prng rng(6);
+  const auto p = random_permutation(32, rng);
+  EXPECT_TRUE(p.then(p.inverse()).is_identity());
+  EXPECT_TRUE(p.inverse().then(p).is_identity());
+}
+
+TEST(Permutation, ApplyInPlaceMatchesApply) {
+  Prng rng(7);
+  const auto p = random_permutation(20, rng);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 100);
+  const auto expected = p.apply(v);
+  std::vector<int> scratch;
+  p.apply_in_place(v, scratch);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Permutation, CyclesCoverAllPoints) {
+  Prng rng(8);
+  const auto p = random_permutation(24, rng);
+  std::size_t total = 0;
+  for (const auto& c : p.cycles()) {
+    EXPECT_FALSE(c.empty());
+    total += c.size();
+    // Each cycle is consistent with the permutation.
+    for (std::size_t i = 0; i < c.size(); ++i)
+      EXPECT_EQ(p(c[i]), c[(i + 1) % c.size()]);
+  }
+  EXPECT_EQ(total, 24u);
+}
+
+TEST(Permutation, ParityOfTransposition) {
+  EXPECT_EQ(Permutation({1, 0, 2, 3}).parity(), -1);
+  EXPECT_EQ(Permutation::identity(5).parity(), 1);
+  EXPECT_EQ(Permutation({1, 2, 0}).parity(), 1);  // 3-cycle is even
+}
+
+TEST(Permutation, ParityMultiplicative) {
+  Prng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_permutation(10, rng);
+    const auto b = random_permutation(10, rng);
+    EXPECT_EQ(a.then(b).parity(), a.parity() * b.parity());
+  }
+}
+
+TEST(Permutation, ShuffleMatchesPaperDefinition) {
+  // pi(j) with binary j_{d-1}...j_0 has representation j_{d-2}...j_0 j_{d-1}.
+  const auto pi = shuffle_permutation(8);
+  EXPECT_EQ(pi(0b000), 0b000u);
+  EXPECT_EQ(pi(0b100), 0b001u);
+  EXPECT_EQ(pi(0b001), 0b010u);
+  EXPECT_EQ(pi(0b101), 0b011u);
+  EXPECT_EQ(pi(0b111), 0b111u);
+}
+
+TEST(Permutation, ShuffleInterleavesHalves) {
+  // The card-deck perfect shuffle: card j of the first half goes to 2j.
+  const wire_t n = 16;
+  const auto pi = shuffle_permutation(n);
+  for (wire_t j = 0; j < n / 2; ++j) {
+    EXPECT_EQ(pi(j), 2 * j);
+    EXPECT_EQ(pi(j + n / 2), 2 * j + 1);
+  }
+}
+
+TEST(Permutation, UnshuffleIsInverse) {
+  for (wire_t n : {2u, 4u, 8u, 64u}) {
+    EXPECT_EQ(unshuffle_permutation(n), shuffle_permutation(n).inverse());
+  }
+}
+
+TEST(Permutation, ShuffleOrderIsLgN) {
+  const wire_t n = 32;
+  const auto pi = shuffle_permutation(n);
+  Permutation power = Permutation::identity(n);
+  for (int i = 0; i < 5; ++i) power = power.then(pi);
+  EXPECT_TRUE(power.is_identity());
+  // ... and no smaller power is the identity.
+  power = Permutation::identity(n);
+  for (int i = 0; i < 4; ++i) {
+    power = power.then(pi);
+    EXPECT_FALSE(power.is_identity());
+  }
+}
+
+TEST(Permutation, ShuffleRequiresPowerOfTwo) {
+  EXPECT_THROW(shuffle_permutation(12), std::invalid_argument);
+}
+
+TEST(Permutation, BitReversalIsInvolution) {
+  const auto rev = bit_reversal_permutation(64);
+  EXPECT_TRUE(rev.then(rev).is_identity());
+}
+
+TEST(Permutation, BitReversalConjugatesShuffleToUnshuffle) {
+  // reversal . shuffle . reversal = unshuffle.
+  const wire_t n = 32;
+  const auto rev = bit_reversal_permutation(n);
+  const auto lhs = rev.then(shuffle_permutation(n)).then(rev);
+  EXPECT_EQ(lhs, unshuffle_permutation(n));
+}
+
+TEST(Permutation, RandomPermutationIsValidAndVaried) {
+  Prng rng(10);
+  const auto a = random_permutation(64, rng);
+  const auto b = random_permutation(64, rng);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.then(a.inverse()).is_identity());
+}
+
+TEST(Permutation, ApplySizeMismatchThrows) {
+  const auto p = Permutation::identity(4);
+  std::vector<int> v(3);
+  EXPECT_THROW(p.apply(v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,104 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace shufflebound {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, BelowRespectsBound) {
+  Prng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Prng, BelowCoversRange) {
+  Prng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, BetweenInclusive) {
+  Prng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.between(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, Uniform01InRange) {
+  Prng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0, 100));
+    EXPECT_TRUE(rng.chance(100, 100));
+  }
+}
+
+TEST(Prng, ForkIndependentButDeterministic) {
+  Prng a(123);
+  Prng child1 = a.fork();
+  Prng b(123);
+  Prng child2 = b.fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Prng, ShuffleInPlacePreservesMultiset) {
+  Prng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sortedCopy = v;
+  shuffle_in_place(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sortedCopy);
+}
+
+TEST(Prng, ShuffleActuallyPermutes) {
+  Prng rng(19);
+  std::vector<int> v(64);
+  std::iota(v.begin(), v.end(), 0);
+  const auto original = v;
+  shuffle_in_place(v, rng);
+  EXPECT_NE(v, original);
+}
+
+TEST(Prng, Splitmix64KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,231 @@
+// Heavier parameterized property sweeps across modules: model-conversion
+// round trips, serialization, recognition, and adversary invariants over
+// randomized instances. Complements the per-module suites with breadth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "adversary/refuter.hpp"
+#include "analysis/sortedness.hpp"
+#include "core/io.hpp"
+#include "networks/batcher.hpp"
+#include "networks/classic.hpp"
+#include "networks/shuffle.hpp"
+#include "pattern/collision.hpp"
+#include "routing/benes.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+struct SweepCase {
+  wire_t n;
+  std::size_t depth;
+  std::uint64_t seed;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "n=" << c.n << " depth=" << c.depth << " seed=" << c.seed;
+}
+
+class RandomNetworkSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  RegisterNetwork make_network() const {
+    const auto [n, depth, seed] = GetParam();
+    Prng rng(seed);
+    return random_shuffle_network(n, depth, rng, {15, 10});
+  }
+};
+
+TEST_P(RandomNetworkSweep, RegisterCircuitRegisterRoundTrip) {
+  const RegisterNetwork reg = make_network();
+  const auto flat = register_to_circuit(reg);
+  const auto back = circuit_to_register(flat.circuit);
+  Prng rng(GetParam().seed + 1);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto input = random_permutation(reg.width(), rng);
+    const auto a = reg.evaluate(std::vector<wire_t>(input.image().begin(),
+                                                    input.image().end()));
+    const auto b = back.net.evaluate(std::vector<wire_t>(
+        input.image().begin(), input.image().end()));
+    // Both register forms place wire w's value at their own final
+    // register; compare through the placement maps.
+    for (wire_t w = 0; w < reg.width(); ++w) {
+      const wire_t reg_a = flat.register_to_wire.inverse()[w];
+      const wire_t reg_b = back.register_to_wire.inverse()[w];
+      ASSERT_EQ(a[reg_a], b[reg_b]) << "wire " << w;
+    }
+  }
+}
+
+TEST_P(RandomNetworkSweep, SerializationPreservesBehaviour) {
+  const RegisterNetwork reg = make_network();
+  const RegisterNetwork parsed = register_from_text(to_text(reg));
+  const auto flat = register_to_circuit(reg);
+  const ComparatorNetwork circuit_parsed =
+      circuit_from_text(to_text(flat.circuit));
+  Prng rng(GetParam().seed + 2);
+  const auto input = random_permutation(reg.width(), rng);
+  EXPECT_EQ(reg.evaluate(std::vector<wire_t>(input.image().begin(),
+                                             input.image().end())),
+            parsed.evaluate(std::vector<wire_t>(input.image().begin(),
+                                                input.image().end())));
+  EXPECT_EQ(circuit_parsed, flat.circuit);
+}
+
+TEST_P(RandomNetworkSweep, ChunksAreAlwaysValidRdns) {
+  const RegisterNetwork reg = make_network();
+  const IteratedRdn rdn = shuffle_to_iterated_rdn(reg);
+  for (const auto& stage : rdn.stages())
+    EXPECT_EQ(stage.chunk.tree.validate(stage.chunk.net), std::nullopt);
+}
+
+TEST_P(RandomNetworkSweep, RefuterNeverLies) {
+  const RegisterNetwork reg = make_network();
+  const RefutationResult result = refute(reg);
+  if (result.status == RefutationStatus::Refuted) {
+    EXPECT_TRUE(verify_certificate(reg, *result.certificate).accepted());
+    // A refuted network must genuinely fail to sort (exhaustive check
+    // affordable at these widths).
+    if (reg.width() <= 16) {
+      EXPECT_FALSE(zero_one_check(reg).sorts_all);
+    }
+  }
+  EXPECT_NE(result.status, RefutationStatus::NotInScope);
+}
+
+TEST_P(RandomNetworkSweep, WitnessInputsRefineTheFinalPattern) {
+  const RegisterNetwork reg = make_network();
+  const RefutationResult result = refute(reg);
+  if (result.status != RefutationStatus::Refuted) return;
+  const Certificate& cert = *result.certificate;
+  EXPECT_TRUE(refines_to_input(cert.pattern, cert.witness.pi));
+  EXPECT_TRUE(refines_to_input(cert.pattern, cert.witness.pi_prime));
+  // Survivors are exactly the [M0]-set.
+  EXPECT_EQ(cert.pattern.set_of(sym_M(0)), cert.survivors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, RandomNetworkSweep,
+    ::testing::Values(SweepCase{8, 3, 1}, SweepCase{8, 7, 2},
+                      SweepCase{16, 4, 3}, SweepCase{16, 9, 4},
+                      SweepCase{32, 5, 5}, SweepCase{32, 12, 6},
+                      SweepCase{64, 6, 7}, SweepCase{64, 14, 8},
+                      SweepCase{128, 7, 9}, SweepCase{128, 21, 10}));
+
+class SorterFamilySweep
+    : public ::testing::TestWithParam<std::tuple<int, wire_t>> {
+ protected:
+  ComparatorNetwork make_sorter() const {
+    const auto [family, n] = GetParam();
+    switch (family) {
+      case 0:
+        return bitonic_sorting_network(n);
+      case 1:
+        return odd_even_mergesort_network(n);
+      case 2:
+        return brick_sorter(n);
+      case 3:
+        return pratt_shellsort_network(n);
+      default:
+        return periodic_balanced_sorter(n);
+    }
+  }
+};
+
+TEST_P(SorterFamilySweep, SortsExhaustively) {
+  EXPECT_TRUE(is_sorting_network(make_sorter()));
+}
+
+TEST_P(SorterFamilySweep, SingleFaultSensitivity) {
+  // Knock out each of the first 10 comparators in turn. Batcher and
+  // brick networks are lean: most single faults break sorting. Pratt's
+  // large-increment passes and the periodic balanced sorter's iterated
+  // blocks absorb early faults by design, so for those families we only
+  // require the certifier to stay sound.
+  const auto [family, n] = GetParam();
+  const auto net = make_sorter();
+  const std::size_t probes = std::min<std::size_t>(10, net.comparator_count());
+  std::size_t caught = 0;
+  for (std::size_t i = 0; i < probes; ++i)
+    if (!is_sorting_network(drop_one_comparator(net, i))) ++caught;
+  if (family >= 3) {
+    EXPECT_LE(caught, probes);  // soundness only; redundancy expected
+  } else {
+    EXPECT_GE(caught * 2, probes) << "family " << family;
+  }
+}
+
+TEST(PeriodicBalanced, FewerThanLgNBlocksDoNotSort) {
+  // The flip side of the block redundancy: lg n blocks are needed.
+  const wire_t n = 16;
+  const auto block = balanced_block(n);
+  ComparatorNetwork three_blocks(n);
+  for (int i = 0; i < 3; ++i) three_blocks.append(block);
+  EXPECT_FALSE(is_sorting_network(three_blocks));
+  ComparatorNetwork four_blocks = three_blocks;
+  four_blocks.append(block);
+  EXPECT_TRUE(is_sorting_network(four_blocks));
+}
+
+TEST_P(SorterFamilySweep, SerializationRoundTrip) {
+  const auto net = make_sorter();
+  EXPECT_EQ(circuit_from_text(to_text(net)), net);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SorterFamilySweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values<wire_t>(4, 8,
+                                                                      16)));
+
+class BenesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BenesSweep, RoutesAndComposes) {
+  Prng rng(GetParam());
+  const wire_t n = 64;
+  const auto p = random_permutation(n, rng);
+  const auto q = random_permutation(n, rng);
+  // Routing p then q equals routing p.then(q).
+  ComparatorNetwork composed(n);
+  composed.append(benes_route(p));
+  composed.append(benes_route(q));
+  const auto direct = benes_route(p.then(q));
+  std::vector<wire_t> v(n);
+  std::iota(v.begin(), v.end(), 0u);
+  auto a = v;
+  composed.evaluate_in_place(std::span<wire_t>(a));
+  auto b = v;
+  direct.evaluate_in_place(std::span<wire_t>(b));
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenesSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class OracleAgreementSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleAgreementSweep, SampledNoncollisionNeverContradictsOracle) {
+  Prng rng(GetParam());
+  const RdnChunk chunk = random_rdn(3, rng, 25, 10);
+  const Lemma41Result r = lemma41(chunk, InputPattern(8, sym_M(0)), 2);
+  if (refinement_input_count(r.refined) > 1'000'000) return;
+  const CollisionOracle oracle(chunk.net, r.refined);
+  Prng sampler(GetParam() + 100);
+  for (const auto& set : r.sets) {
+    if (set.size() < 2) continue;
+    const bool exact = oracle.noncolliding(set);
+    const bool sampled = noncolliding_under_all_linearizations_sample(
+        chunk.net, r.refined, set, sampler, 40);
+    EXPECT_TRUE(exact);           // Lemma 4.1 property (2)
+    EXPECT_TRUE(sampled);         // sampling must agree
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleAgreementSweep,
+                         ::testing::Values(7, 17, 27, 37, 47, 57, 67, 77));
+
+}  // namespace
+}  // namespace shufflebound

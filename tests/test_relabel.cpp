@@ -1,0 +1,89 @@
+// The paper's general sorting-network definition: same output
+// permutation on every input, i.e. sorting up to a fixed output rank
+// assignment (zero_one_check_up_to_relabel).
+#include <gtest/gtest.h>
+
+#include "analysis/search.hpp"
+#include "core/bitparallel.hpp"
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "routing/benes.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(Relabel, StrictSorterGetsIdentityRanks) {
+  const auto report = zero_one_check_up_to_relabel(bitonic_sorting_network(8));
+  ASSERT_TRUE(report.sorts);
+  EXPECT_TRUE(report.ranks->is_identity());
+}
+
+TEST(Relabel, SorterFollowedByPermutationStillSorts) {
+  // A sorter with a Benes-routed permutation glued on maps every input
+  // to the same (non-identity) output: strict check fails, relabeled
+  // check recovers exactly the glued permutation as the rank map.
+  Prng rng(1);
+  const Permutation shuffle_out = shuffle_permutation(8);
+  ComparatorNetwork net(8);
+  net.append(bitonic_sorting_network(8));
+  net.append(benes_route(shuffle_out));
+  EXPECT_FALSE(zero_one_check(net).sorts_all);
+  const auto report = zero_one_check_up_to_relabel(net);
+  ASSERT_TRUE(report.sorts);
+  EXPECT_FALSE(report.ranks->is_identity());
+  // The wire that ends holding rank r is shuffle_out^{-1}... verify
+  // semantically: sorting any input then permuting puts rank
+  // shuffle_out(r)... just check the rank map inverts the glued route:
+  // value with rank k lands on wire shuffle_out(k), so ranks[shuffle(k)]
+  // = k.
+  for (wire_t k = 0; k < 8; ++k)
+    EXPECT_EQ((*report.ranks)[shuffle_out[k]], k);
+}
+
+TEST(Relabel, FlattenedRegisterSorterSortsUpToRelabel) {
+  // The exact situation that motivated this API: the minimal 3-step
+  // width-4 shuffle sorter sorts in register order; its circuit
+  // flattening carries a final wire permutation.
+  const auto result = exact_min_depth_shuffle_sorter(4, 6);
+  ASSERT_TRUE(result.has_value());
+  const auto flat = register_to_circuit(result->network);
+  EXPECT_FALSE(zero_one_check(flat.circuit).sorts_all);
+  const auto report = zero_one_check_up_to_relabel(flat.circuit);
+  ASSERT_TRUE(report.sorts);
+  // The recovered ranks must match the flattening's placement map:
+  // register r (rank r at the end) holds wire register_to_wire[r].
+  for (wire_t r = 0; r < 4; ++r)
+    EXPECT_EQ((*report.ranks)[flat.register_to_wire[r]], r);
+}
+
+TEST(Relabel, NonSorterRejected) {
+  Prng rng(2);
+  const auto shallow = random_shuffle_network(8, 3, rng);
+  EXPECT_FALSE(zero_one_check_up_to_relabel(shallow).sorts);
+  const auto flat = register_to_circuit(shallow);
+  EXPECT_FALSE(zero_one_check_up_to_relabel(flat.circuit).sorts);
+}
+
+TEST(Relabel, ExchangeOnlyNetworkIsNotASorter) {
+  // Routes are permutations (same output permutation only relative to
+  // the INPUT, which differs per input): must be rejected.
+  const auto route = benes_route(shuffle_permutation(8));
+  EXPECT_FALSE(zero_one_check_up_to_relabel(route).sorts);
+}
+
+TEST(Relabel, RegisterModelOverload) {
+  const auto result = exact_min_depth_shuffle_sorter(4, 6);
+  ASSERT_TRUE(result.has_value());
+  const auto report = zero_one_check_up_to_relabel(result->network);
+  ASSERT_TRUE(report.sorts);
+  EXPECT_TRUE(report.ranks->is_identity());  // sorts in register order
+}
+
+TEST(Relabel, WidthGuard) {
+  EXPECT_THROW(zero_one_check_up_to_relabel(ComparatorNetwork(25)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,87 @@
+// Representative-set pruning (the Section 5 discussion, executable).
+#include "analysis/representative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "networks/shuffle.hpp"
+#include "sim/bitparallel.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(RandomVectors, DistinctAndInRange) {
+  Prng rng(1);
+  const auto vectors = random_zero_one_vectors(8, 100, rng);
+  EXPECT_EQ(vectors.size(), 100u);
+  auto sorted = vectors;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const auto v : vectors) EXPECT_LT(v, 256u);
+}
+
+TEST(RandomVectors, FullUniverseAndOverflowGuard) {
+  Prng rng(2);
+  EXPECT_EQ(random_zero_one_vectors(4, 16, rng).size(), 16u);
+  EXPECT_THROW(random_zero_one_vectors(4, 17, rng), std::invalid_argument);
+}
+
+TEST(SortsVectors, AgreesWithZeroOneCheck) {
+  Prng rng(3);
+  const RegisterNetwork sorter = bitonic_on_shuffle(8);
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t v = 0; v < 256; ++v) all.push_back(v);
+  EXPECT_TRUE(sorts_vectors(sorter, all));
+  const RegisterNetwork shallow = random_shuffle_network(8, 3, rng);
+  EXPECT_EQ(sorts_vectors(shallow, all), zero_one_check(shallow).sorts_all);
+}
+
+TEST(SortsVectors, PartialBatchHandled) {
+  // 70 vectors: one full word batch + a 6-vector tail.
+  Prng rng(4);
+  const RegisterNetwork sorter = bitonic_on_shuffle(8);
+  const auto tests = random_zero_one_vectors(8, 70, rng);
+  EXPECT_TRUE(sorts_vectors(sorter, tests));
+}
+
+TEST(Prune, FullUniverseKeepsASorter) {
+  const RegisterNetwork sorter = bitonic_on_shuffle(8);
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t v = 0; v < 256; ++v) all.push_back(v);
+  const PruneResult pruned = prune_for_test_set(sorter, all);
+  EXPECT_TRUE(zero_one_check(pruned.network).sorts_all);
+  EXPECT_LE(pruned.comparators_after, pruned.comparators_before);
+}
+
+TEST(Prune, PrunedNetworkAlwaysPassesItsTests) {
+  Prng rng(5);
+  const RegisterNetwork sorter = bitonic_on_shuffle(16);
+  const auto tests = random_zero_one_vectors(16, 200, rng);
+  const PruneResult pruned = prune_for_test_set(sorter, tests);
+  EXPECT_TRUE(sorts_vectors(pruned.network, tests));
+  EXPECT_LT(pruned.comparators_after, pruned.comparators_before);
+}
+
+TEST(Prune, SmallTestSetDoesNotCertifySorting) {
+  // The Section 5 point: passing a poly-size T is far weaker than
+  // sorting.
+  Prng rng(6);
+  const RegisterNetwork sorter = bitonic_on_shuffle(16);
+  const auto tests = random_zero_one_vectors(16, 16, rng);
+  const PruneResult pruned = prune_for_test_set(sorter, tests);
+  EXPECT_TRUE(sorts_vectors(pruned.network, tests));
+  EXPECT_FALSE(zero_one_check(pruned.network).sorts_all);
+}
+
+TEST(Prune, PreservesDepthAndShuffleStructure) {
+  Prng rng(7);
+  const RegisterNetwork sorter = bitonic_on_shuffle(8);
+  const auto tests = random_zero_one_vectors(8, 20, rng);
+  const PruneResult pruned = prune_for_test_set(sorter, tests);
+  EXPECT_EQ(pruned.network.depth(), sorter.depth());
+  EXPECT_TRUE(pruned.network.is_shuffle_based());
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,72 @@
+// Exact and heuristic search over shuffle-based networks (Knuth 5.3.4.47
+// in miniature).
+#include "analysis/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/refuter.hpp"
+#include "networks/shuffle.hpp"
+#include "sim/bitparallel.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(ExactSearch, WidthTwoNeedsExactlyOneStep) {
+  const auto result = exact_min_depth_shuffle_sorter(2, 3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->depth, 1u);
+  EXPECT_TRUE(is_sorting_network(result->network));
+}
+
+TEST(ExactSearch, WidthFourMinimumIsThree) {
+  // Stone's construction gives lg^2 4 = 4 steps; exhaustive search proves
+  // the true minimum is 3 (the trivial bound is lg n = 2, and no 2-step
+  // shuffle network sorts 4 inputs).
+  const auto result = exact_min_depth_shuffle_sorter(4, 6);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->depth, 3u);
+  EXPECT_TRUE(is_sorting_network(result->network));
+  EXPECT_TRUE(result->network.is_shuffle_based());
+  EXPECT_FALSE(exact_min_depth_shuffle_sorter(4, 2).has_value());
+}
+
+TEST(ExactSearch, DepthCapRespected) {
+  EXPECT_FALSE(exact_min_depth_shuffle_sorter(4, 1).has_value());
+}
+
+TEST(ExactSearch, RejectsUnsupportedWidths) {
+  EXPECT_THROW(exact_min_depth_shuffle_sorter(8, 3), std::invalid_argument);
+  EXPECT_THROW(exact_min_depth_shuffle_sorter(6, 3), std::invalid_argument);
+}
+
+TEST(BeamSearch, BeatsStoneDepthAtWidthEight) {
+  // lg^2 8 = 9 steps suffice (Stone); the beam search finds an 8-step
+  // shuffle-based sorter - evidence that lg^2 n is not tight at small n,
+  // consistent with the paper's Theta(lg lg n) gap.
+  Prng rng(7);
+  const auto result = beam_search_shuffle_sorter(8, 9, 256, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->depth, 8u);
+  EXPECT_TRUE(is_sorting_network(result->network));
+  EXPECT_TRUE(result->network.is_shuffle_based());
+}
+
+TEST(BeamSearch, FoundSorterIsConsistentWithTheLowerBound) {
+  // Any sorter the search finds is out of the adversary's reach: the
+  // refuter must return TooFewSurvivors on it.
+  Prng rng(7);
+  const auto result = beam_search_shuffle_sorter(8, 9, 256, rng);
+  ASSERT_TRUE(result.has_value());
+  const auto refutation = refute(result->network);
+  EXPECT_EQ(refutation.status, RefutationStatus::TooFewSurvivors);
+}
+
+TEST(BeamSearch, ImpossibleDepthReturnsNothing) {
+  Prng rng(3);
+  // Depth 2 < lg^2... even < the information bound for comparisons; no
+  // 2-step shuffle network sorts 8 inputs.
+  EXPECT_FALSE(beam_search_shuffle_sorter(8, 2, 32, rng).has_value());
+}
+
+}  // namespace
+}  // namespace shufflebound

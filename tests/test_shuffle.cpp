@@ -1,0 +1,194 @@
+// The dimension-order -> shuffle compiler (Stone's technique) and the
+// shuffle-based upper-bound sorter.
+#include "networks/shuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "networks/batcher.hpp"
+#include "networks/rdn.hpp"
+#include "perm/permutation.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(DimProgram, CircuitFormMatchesBitonic) {
+  // The bitonic dim program's direct circuit is exactly the classic
+  // bitonic network.
+  const wire_t n = 16;
+  const auto program = bitonic_dim_program(n);
+  const auto circuit = dim_program_circuit(n, program);
+  EXPECT_EQ(circuit, bitonic_sorting_network(n));
+}
+
+TEST(DimProgram, OutOfRangeDimThrows) {
+  std::vector<DimStep> program{{5, [](wire_t) { return GateOp::CompareAsc; }}};
+  EXPECT_THROW(dim_program_circuit(8, program), std::invalid_argument);
+  EXPECT_THROW(compile_to_shuffle(8, program), std::invalid_argument);
+}
+
+TEST(CompileToShuffle, ProducesShuffleBasedNetwork) {
+  const auto net = bitonic_on_shuffle(16);
+  EXPECT_TRUE(net.is_shuffle_based());
+}
+
+TEST(CompileToShuffle, StoneDepthIsLgSquared) {
+  for (wire_t n : {4u, 8u, 16u, 32u, 64u}) {
+    const std::size_t d = log2_exact(n);
+    EXPECT_EQ(bitonic_on_shuffle(n).depth(), d * d) << "n=" << n;
+  }
+}
+
+TEST(CompileToShuffle, PreservesComparatorCount) {
+  const wire_t n = 32;
+  EXPECT_EQ(bitonic_on_shuffle(n).comparator_count(),
+            bitonic_sorting_network(n).comparator_count());
+}
+
+class ShuffleSorterExhaustive : public ::testing::TestWithParam<wire_t> {};
+
+TEST_P(ShuffleSorterExhaustive, BitonicOnShuffleSortsAllZeroOne) {
+  EXPECT_TRUE(is_sorting_network(bitonic_on_shuffle(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepableSizes, ShuffleSorterExhaustive,
+                         ::testing::Values<wire_t>(2, 4, 8, 16));
+
+class ShuffleSorterSizes : public ::testing::TestWithParam<wire_t> {};
+
+TEST_P(ShuffleSorterSizes, SortsIntoRegisterOrder) {
+  Prng rng(90);
+  const wire_t n = GetParam();
+  const auto net = bitonic_on_shuffle(n);
+  const auto input = random_permutation(n, rng);
+  const auto out = net.evaluate(
+      std::vector<wire_t>(input.image().begin(), input.image().end()));
+  for (wire_t r = 0; r < n; ++r) EXPECT_EQ(out[r], r);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, ShuffleSorterSizes,
+                         ::testing::Values<wire_t>(2, 4, 8, 16, 32, 64));
+
+TEST(CompileToShuffle, MatchesDirectCircuitSemantics) {
+  // The compiled register network computes the same function as the dim
+  // program's circuit, for an arbitrary (compilable) program.
+  Prng rng(91);
+  const wire_t n = 16;
+  std::vector<DimStep> program;
+  // A wavy program: dims 3,1,0,3,2,0 with random ops.
+  for (const std::uint32_t dim : {3u, 1u, 0u, 3u, 2u, 0u}) {
+    auto seed = rng();
+    program.push_back(DimStep{dim, [seed](wire_t x) {
+                                Prng local(seed ^ (x * 7919));
+                                const auto roll = local.below(3);
+                                return roll == 0   ? GateOp::CompareAsc
+                                       : roll == 1 ? GateOp::CompareDesc
+                                                   : GateOp::Passthrough;
+                              }});
+  }
+  const auto circuit = dim_program_circuit(n, program);
+  const auto compiled = compile_to_shuffle(n, program);
+  const auto flat = register_to_circuit(compiled);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto input = random_permutation(n, rng);
+    auto direct = std::vector<wire_t>(input.image().begin(), input.image().end());
+    circuit.evaluate_in_place(std::span<wire_t>(direct));
+    auto reg = compiled.evaluate(
+        std::vector<wire_t>(input.image().begin(), input.image().end()));
+    // Circuit wire w's value sits in the register holding wire w.
+    for (wire_t r = 0; r < n; ++r)
+      ASSERT_EQ(reg[r], direct[flat.register_to_wire[r]]);
+  }
+}
+
+TEST(CompileToShuffle, PadsSkippedDimensionsWithNopSteps) {
+  // A single dim-0 step on n=8 needs 3 shuffle steps (dims 2, 1 skipped).
+  std::vector<DimStep> program{{0, [](wire_t) { return GateOp::CompareAsc; }}};
+  const auto net = compile_to_shuffle(8, program);
+  EXPECT_EQ(net.depth(), 3u);
+  EXPECT_EQ(net.comparator_count(), 4u);
+}
+
+class ShuffleUnshuffleSizes : public ::testing::TestWithParam<wire_t> {};
+
+TEST_P(ShuffleUnshuffleSizes, BitonicOnShuffleUnshuffleSorts) {
+  EXPECT_TRUE(is_sorting_network(bitonic_on_shuffle_unshuffle(GetParam())));
+}
+
+TEST_P(ShuffleUnshuffleSizes, UsesOnlyShuffleAndUnshuffle) {
+  const auto net = bitonic_on_shuffle_unshuffle(GetParam());
+  EXPECT_TRUE(is_shuffle_unshuffle_based(net));
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepableSizes, ShuffleUnshuffleSizes,
+                         ::testing::Values<wire_t>(2, 4, 8, 16));
+
+TEST(ShuffleUnshuffle, StrictlyShallowerThanShuffleOnly) {
+  // The ascend-descend class is concretely more efficient: the same
+  // bitonic program compiles to fewer steps when unshuffle is available
+  // (Section 6's open-question class). At n = 1024: 72 vs 100 steps.
+  for (const wire_t n : {8u, 16u, 64u, 256u, 1024u}) {
+    const auto ascend_only = bitonic_on_shuffle(n);
+    const auto both = bitonic_on_shuffle_unshuffle(n);
+    EXPECT_LT(both.depth(), ascend_only.depth()) << "n=" << n;
+    EXPECT_EQ(both.comparator_count(), ascend_only.comparator_count());
+  }
+}
+
+TEST(ShuffleUnshuffle, CompiledProgramMatchesCircuitSemantics) {
+  Prng rng(94);
+  const wire_t n = 16;
+  const auto program = bitonic_dim_program(n);
+  const auto circuit = dim_program_circuit(n, program);
+  const auto compiled = compile_to_shuffle_unshuffle(n, program);
+  const auto flat = register_to_circuit(compiled);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto input = random_permutation(n, rng);
+    auto direct = std::vector<wire_t>(input.image().begin(), input.image().end());
+    circuit.evaluate_in_place(std::span<wire_t>(direct));
+    auto reg = compiled.evaluate(
+        std::vector<wire_t>(input.image().begin(), input.image().end()));
+    for (wire_t r = 0; r < n; ++r)
+      ASSERT_EQ(reg[r], direct[flat.register_to_wire[r]]);
+  }
+}
+
+TEST(ShuffleUnshuffle, OutOfTheLowerBoundClass) {
+  // The compiled network genuinely leaves the shuffle-only class (it
+  // must, to be shallower): shuffle_to_iterated_rdn rejects it.
+  const auto net = bitonic_on_shuffle_unshuffle(16);
+  EXPECT_FALSE(net.is_shuffle_based());
+  EXPECT_THROW(shuffle_to_iterated_rdn(net), std::invalid_argument);
+}
+
+TEST(RandomShuffleUnshuffle, StructurePredicates) {
+  Prng rng(95);
+  const auto net = random_shuffle_unshuffle_network(16, 20, rng);
+  EXPECT_TRUE(is_shuffle_unshuffle_based(net));
+  RegisterNetwork arbitrary(4);
+  arbitrary.add_step({Permutation({2, 3, 0, 1}),
+                      {GateOp::CompareAsc, GateOp::CompareAsc}});
+  EXPECT_FALSE(is_shuffle_unshuffle_based(arbitrary));
+}
+
+TEST(RandomShuffleNetwork, RespectsOpMix) {
+  Prng rng(92);
+  const auto all_nop = random_shuffle_network(16, 5, rng, {100, 0});
+  EXPECT_EQ(all_nop.comparator_count(), 0u);
+  const auto all_cmp = random_shuffle_network(16, 5, rng, {0, 0});
+  EXPECT_EQ(all_cmp.comparator_count(), 5u * 8u);
+  EXPECT_EQ(all_cmp.depth(), 5u);
+  EXPECT_TRUE(all_cmp.is_shuffle_based());
+}
+
+TEST(RandomShuffleNetwork, DeterministicInSeed) {
+  Prng rng1(93), rng2(93);
+  const auto a = random_shuffle_network(8, 4, rng1, {20, 20});
+  const auto b = random_shuffle_network(8, 4, rng2, {20, 20});
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(a.step(s).ops, b.step(s).ops);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,161 @@
+// Simulators: threaded batch evaluation and bit-parallel 0-1 sweeps.
+#include <gtest/gtest.h>
+
+#include "analysis/sortedness.hpp"
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "sim/batch.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(BitParallel, PackedComparatorIsAndOr) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  std::vector<std::uint64_t> words{0b0110, 0b0101};
+  evaluate_packed(net, words);
+  EXPECT_EQ(words[0], 0b0100u);  // AND
+  EXPECT_EQ(words[1], 0b0111u);  // OR
+}
+
+TEST(BitParallel, PackedDescAndExchange) {
+  ComparatorNetwork net(2);
+  net.add_level({Gate(0, 1, GateOp::CompareDesc)});
+  std::vector<std::uint64_t> words{0b01, 0b10};
+  evaluate_packed(net, words);
+  EXPECT_EQ(words[0], 0b11u);
+  EXPECT_EQ(words[1], 0b00u);
+
+  ComparatorNetwork ex(2);
+  ex.add_level({Gate(0, 1, GateOp::Exchange)});
+  words = {0b1, 0b0};
+  evaluate_packed(ex, words);
+  EXPECT_EQ(words[0], 0b0u);
+  EXPECT_EQ(words[1], 0b1u);
+}
+
+TEST(BitParallel, PackedMatchesScalarOnRandomNetwork) {
+  Prng rng(4001);
+  const auto net = bitonic_sorting_network(16);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t vec = rng.below(1ull << 16);
+    std::vector<std::uint64_t> words(16);
+    for (wire_t w = 0; w < 16; ++w) words[w] = (vec >> w) & 1;
+    evaluate_packed(net, words);
+    std::vector<wire_t> scalar(16);
+    for (wire_t w = 0; w < 16; ++w) scalar[w] = (vec >> w) & 1;
+    net.evaluate_in_place(std::span<wire_t>(scalar));
+    for (wire_t w = 0; w < 16; ++w) ASSERT_EQ(words[w], scalar[w]);
+  }
+}
+
+TEST(ZeroOne, CertifiesSortersAndRejectsNonSorters) {
+  EXPECT_TRUE(zero_one_check(bitonic_sorting_network(16)).sorts_all);
+  EXPECT_TRUE(zero_one_check(odd_even_mergesort_network(8)).sorts_all);
+  Prng rng(4002);
+  const RegisterNetwork shallow = random_shuffle_network(16, 4, rng);
+  const auto report = zero_one_check(shallow);
+  EXPECT_FALSE(report.sorts_all);
+  ASSERT_TRUE(report.failing_vector.has_value());
+}
+
+TEST(ZeroOne, FailingVectorIsGenuine) {
+  const auto net = drop_one_comparator(bitonic_sorting_network(8), 7);
+  const auto report = zero_one_check(net);
+  ASSERT_FALSE(report.sorts_all);
+  ASSERT_TRUE(report.failing_vector.has_value());
+  // Replay the failing vector through the scalar evaluator.
+  std::vector<wire_t> v(8);
+  for (wire_t w = 0; w < 8; ++w) v[w] = (*report.failing_vector >> w) & 1;
+  net.evaluate_in_place(std::span<wire_t>(v));
+  EXPECT_FALSE(is_sorted_output(v));
+}
+
+TEST(ZeroOne, ParallelSweepAgreesWithSerial) {
+  ThreadPool pool(4);
+  const auto good = bitonic_sorting_network(16);
+  EXPECT_EQ(zero_one_check(good, &pool).sorts_all,
+            zero_one_check(good).sorts_all);
+  const auto bad = drop_one_comparator(good, 13);
+  EXPECT_EQ(zero_one_check(bad, &pool).sorts_all,
+            zero_one_check(bad).sorts_all);
+}
+
+TEST(ZeroOne, RegisterModelSweep) {
+  EXPECT_TRUE(zero_one_check(bitonic_on_shuffle(16)).sorts_all);
+  Prng rng(4003);
+  EXPECT_FALSE(zero_one_check(random_shuffle_network(8, 3, rng)).sorts_all);
+}
+
+TEST(ZeroOne, WidthGuard) {
+  EXPECT_THROW(zero_one_check(ComparatorNetwork(31)), std::invalid_argument);
+}
+
+TEST(ZeroOne, ZeroOnePrincipleAgreesWithPermutationTesting) {
+  // Both directions on a small width: a network passes the 0-1 sweep iff
+  // it sorts all 4! permutations.
+  Prng rng(4004);
+  for (int trial = 0; trial < 20; ++trial) {
+    ComparatorNetwork net(4);
+    for (int l = 0; l < 3; ++l) {
+      Level level;
+      const wire_t a = rng.below(4);
+      wire_t b = rng.below(4);
+      if (a == b) b = (b + 1) % 4;
+      level.gates.emplace_back(a, b, rng.chance(1, 2) ? GateOp::CompareAsc
+                                                      : GateOp::CompareDesc);
+      net.add_level(std::move(level));
+    }
+    bool sorts_perms = true;
+    std::vector<wire_t> image{0, 1, 2, 3};
+    do {
+      auto out = net.evaluate(image);
+      if (!is_sorted_output(out)) sorts_perms = false;
+    } while (std::next_permutation(image.begin(), image.end()));
+    EXPECT_EQ(zero_one_check(net).sorts_all, sorts_perms) << "trial " << trial;
+  }
+}
+
+TEST(Batch, CountSortedIsDeterministicAcrossPoolSizes) {
+  const auto net = drop_one_comparator(bitonic_sorting_network(16), 3);
+  BatchEvaluator one(1);
+  BatchEvaluator many(8);
+  EXPECT_EQ(one.count_sorted_outputs(net, 500, 99),
+            many.count_sorted_outputs(net, 500, 99));
+}
+
+TEST(Batch, SorterSortsEverything) {
+  BatchEvaluator evaluator(4);
+  EXPECT_EQ(evaluator.count_sorted_outputs(bitonic_sorting_network(32), 200, 1),
+            200u);
+  EXPECT_EQ(evaluator.count_sorted_outputs(bitonic_on_shuffle(16), 200, 2),
+            200u);
+}
+
+TEST(Batch, ShallowNetworkSortsAlmostNothing) {
+  Prng rng(4005);
+  BatchEvaluator evaluator(4);
+  const RegisterNetwork net = random_shuffle_network(32, 5, rng);
+  EXPECT_LT(evaluator.count_sorted_outputs(net, 200, 3), 5u);
+}
+
+TEST(Batch, CountTrialsSeedsAreStable) {
+  BatchEvaluator evaluator(3);
+  const auto count = evaluator.count_trials(
+      100, 42, [](Prng& rng, std::size_t) { return rng.chance(1, 2); });
+  const auto again = evaluator.count_trials(
+      100, 42, [](Prng& rng, std::size_t) { return rng.chance(1, 2); });
+  EXPECT_EQ(count, again);
+}
+
+TEST(IsSortedOutput, Basics) {
+  EXPECT_TRUE(is_sorted_output(std::vector<wire_t>{}));
+  EXPECT_TRUE(is_sorted_output(std::vector<wire_t>{5}));
+  EXPECT_TRUE(is_sorted_output(std::vector<wire_t>{1, 2, 2, 3}));
+  EXPECT_FALSE(is_sorted_output(std::vector<wire_t>{2, 1}));
+}
+
+}  // namespace
+}  // namespace shufflebound

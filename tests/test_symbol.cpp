@@ -1,0 +1,121 @@
+// The pattern alphabet P and its total order <_P (Section 3.2). The
+// property suite checks every generator relation of the order plus
+// totality/antisymmetry/transitivity over a sampled symbol universe.
+#include "pattern/symbol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace shufflebound {
+namespace {
+
+std::vector<PatternSymbol> sample_universe() {
+  std::vector<PatternSymbol> u;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    u.push_back(sym_S(i));
+    u.push_back(sym_M(i));
+    u.push_back(sym_L(i));
+    for (std::uint32_t j = 0; j < 3; ++j) u.push_back(sym_X(i, j));
+  }
+  return u;
+}
+
+TEST(SymbolOrder, GeneratorRelationSi) {
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_LT(sym_S(i), sym_S(i + 1));
+}
+
+TEST(SymbolOrder, GeneratorRelationSBelowX00) {
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_LT(sym_S(i), sym_X(0, 0));
+}
+
+TEST(SymbolOrder, GeneratorRelationXij) {
+  for (std::uint32_t i = 0; i < 5; ++i)
+    for (std::uint32_t j = 0; j < 5; ++j)
+      EXPECT_LT(sym_X(i, j), sym_X(i, j + 1));
+}
+
+TEST(SymbolOrder, GeneratorRelationXBelowM) {
+  for (std::uint32_t i = 0; i < 5; ++i)
+    for (std::uint32_t j = 0; j < 5; ++j) EXPECT_LT(sym_X(i, j), sym_M(i));
+}
+
+TEST(SymbolOrder, GeneratorRelationMBelowNextX) {
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_LT(sym_M(i), sym_X(i + 1, 0));
+}
+
+TEST(SymbolOrder, GeneratorRelationMBelowEveryL) {
+  for (std::uint32_t i = 0; i < 5; ++i)
+    for (std::uint32_t j = 0; j < 5; ++j) EXPECT_LT(sym_M(i), sym_L(j));
+}
+
+TEST(SymbolOrder, GeneratorRelationLDescending) {
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_LT(sym_L(i + 1), sym_L(i));
+}
+
+TEST(SymbolOrder, DerivedMChain) {
+  // M_i < M_{i+1} follows from M_i < X_{i+1,0} < M_{i+1}.
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_LT(sym_M(i), sym_M(i + 1));
+}
+
+TEST(SymbolOrder, DerivedXAcrossIndices) {
+  EXPECT_LT(sym_X(0, 99), sym_X(1, 0));
+  EXPECT_LT(sym_X(2, 5), sym_M(3));
+  EXPECT_LT(sym_M(2), sym_X(3, 0));
+}
+
+TEST(SymbolOrder, SBlockBelowEverythingElse) {
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    EXPECT_LT(sym_S(i), sym_M(0));
+    EXPECT_LT(sym_S(i), sym_X(0, 0));
+    EXPECT_LT(sym_S(i), sym_L(1000));
+  }
+}
+
+TEST(SymbolOrder, LBlockAboveEverythingElse) {
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    EXPECT_GT(sym_L(i), sym_M(1000));
+    EXPECT_GT(sym_L(i), sym_X(1000, 1000));
+    EXPECT_GT(sym_L(i), sym_S(1000));
+  }
+}
+
+TEST(SymbolOrder, TotalityAndAntisymmetry) {
+  const auto u = sample_universe();
+  for (const auto& a : u) {
+    for (const auto& b : u) {
+      const int lt = a < b;
+      const int gt = b < a;
+      const int eq = a == b;
+      EXPECT_EQ(lt + gt + eq, 1) << to_string(a) << " vs " << to_string(b);
+    }
+  }
+}
+
+TEST(SymbolOrder, Transitivity) {
+  const auto u = sample_universe();
+  for (const auto& a : u)
+    for (const auto& b : u)
+      for (const auto& c : u)
+        if (a < b && b < c) {
+          EXPECT_LT(a, c) << to_string(a) << " " << to_string(b) << " "
+                          << to_string(c);
+        }
+}
+
+TEST(SymbolOrder, EqualityIsStructural) {
+  EXPECT_EQ(sym_X(2, 3), sym_X(2, 3));
+  EXPECT_NE(sym_X(2, 3), sym_X(3, 2));
+  EXPECT_NE(sym_S(1), sym_M(1));
+  EXPECT_NE(sym_M(0), sym_L(0));
+}
+
+TEST(Symbol, ToString) {
+  EXPECT_EQ(to_string(sym_S(0)), "S0");
+  EXPECT_EQ(to_string(sym_M(3)), "M3");
+  EXPECT_EQ(to_string(sym_L(2)), "L2");
+  EXPECT_EQ(to_string(sym_X(1, 4)), "X1,4");
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,180 @@
+// Theorem 4.1 (iterating Lemma 4.1 over consecutive reverse delta
+// networks) and the closed-form bounds of Corollary 4.1.1.
+#include "adversary/theorem41.hpp"
+#include "adversary/witness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "networks/shuffle.hpp"
+#include "pattern/collision.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+IteratedRdn random_iterated(wire_t n, std::size_t stages, Prng& rng,
+                            unsigned drop = 10, unsigned exch = 5) {
+  const std::uint32_t d = log2_exact(n);
+  return make_iterated_rdn(
+      n, stages, [&](std::size_t) { return random_rdn(d, rng, drop, exch); },
+      [&](std::size_t c) {
+        return c == 0 ? Permutation::identity(n) : random_permutation(n, rng);
+      });
+}
+
+TEST(Theorem41, BoundClosedForm) {
+  EXPECT_DOUBLE_EQ(theorem41_bound(16, 0), 16.0);
+  EXPECT_DOUBLE_EQ(theorem41_bound(16, 1), 16.0 / 256.0);
+  EXPECT_DOUBLE_EQ(theorem41_bound(256, 1), 256.0 / 4096.0);
+}
+
+TEST(Theorem41, CorollaryMaxStagesGrows) {
+  // d < lg n / (4 lg lg n): for n = 2^16, lg n = 16, lg lg n = 4 -> d < 1;
+  // for n = 2^64 -> 64/(4*2.58) ~ 6.2 -> d = 6.
+  EXPECT_LE(corollary_max_stages(1u << 16), 1u);
+  EXPECT_GE(corollary_max_stages(1u << 30), 1u);
+}
+
+TEST(Theorem41, ZeroStagesKeepsEverything) {
+  IteratedRdn net(8);
+  const AdversaryResult r = run_adversary(net);
+  EXPECT_EQ(r.survivors.size(), 8u);
+  EXPECT_TRUE(r.stages.empty());
+}
+
+class Theorem41Random
+    : public ::testing::TestWithParam<std::tuple<wire_t, std::size_t, int>> {};
+
+TEST_P(Theorem41Random, PatternUsesOnlyEntrySymbolsAndSurvivorsMatch) {
+  const auto [n, stages, seed] = GetParam();
+  Prng rng(static_cast<std::uint64_t>(seed));
+  const IteratedRdn net = random_iterated(n, stages, rng);
+  const AdversaryResult r = run_adversary(net);
+  for (wire_t w = 0; w < n; ++w) {
+    const auto s = r.input_pattern[w];
+    EXPECT_TRUE(s == sym_S(0) || s == sym_M(0) || s == sym_L(0));
+  }
+  EXPECT_EQ(r.input_pattern.set_of(sym_M(0)), r.survivors);
+  EXPECT_EQ(r.stages.size(), stages);
+}
+
+TEST_P(Theorem41Random, SurvivorCountMeetsTheoremBound) {
+  const auto [n, stages, seed] = GetParam();
+  Prng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  const IteratedRdn net = random_iterated(n, stages, rng);
+  const AdversaryResult r = run_adversary(net);
+  EXPECT_GE(static_cast<double>(r.survivors.size()), r.theorem_bound);
+}
+
+TEST_P(Theorem41Random, StageStatisticsAreCoherent) {
+  const auto [n, stages, seed] = GetParam();
+  Prng rng(static_cast<std::uint64_t>(seed) * 131 + 3);
+  const IteratedRdn net = random_iterated(n, stages, rng);
+  const AdversaryResult r = run_adversary(net);
+  std::size_t prev = n;
+  for (const auto& stage : r.stages) {
+    EXPECT_EQ(stage.entering, prev);
+    EXPECT_LE(stage.retained, stage.entering);
+    EXPECT_LE(stage.survivors, stage.retained);
+    EXPECT_GE(stage.survivors, 1u);  // the largest set is nonempty
+    prev = stage.survivors;
+  }
+  EXPECT_EQ(prev, r.survivors.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem41Random,
+    ::testing::Values(std::make_tuple<wire_t, std::size_t, int>(8, 1, 1),
+                      std::make_tuple<wire_t, std::size_t, int>(8, 2, 2),
+                      std::make_tuple<wire_t, std::size_t, int>(16, 1, 3),
+                      std::make_tuple<wire_t, std::size_t, int>(16, 2, 4),
+                      std::make_tuple<wire_t, std::size_t, int>(32, 2, 5),
+                      std::make_tuple<wire_t, std::size_t, int>(32, 3, 6),
+                      std::make_tuple<wire_t, std::size_t, int>(64, 3, 7),
+                      std::make_tuple<wire_t, std::size_t, int>(128, 2, 8)));
+
+TEST(Theorem41, SurvivorsExactlyNoncollidingOnSmallNetwork) {
+  // Exhaustive oracle check of the theorem's core claim: the surviving
+  // [M_0]-set is noncolliding in the whole iterated network.
+  Prng rng(900);
+  for (int trial = 0; trial < 5; ++trial) {
+    const IteratedRdn net = random_iterated(8, 2, rng, 20, 10);
+    const AdversaryResult r = run_adversary(net, /*k=*/2);
+    if (r.survivors.size() < 2) continue;
+    if (refinement_input_count(r.input_pattern) > 1'000'000) continue;
+    const CollisionOracle oracle(net, r.input_pattern);
+    EXPECT_TRUE(oracle.noncolliding(r.survivors)) << "trial " << trial;
+  }
+}
+
+TEST(Theorem41, ShuffleNetworkFullPipeline) {
+  // Shuffle-based register network -> iterated RDN -> adversary; the
+  // survivors obey the bound for d = number of chunks.
+  Prng rng(901);
+  const wire_t n = 64;
+  const RegisterNetwork reg = random_shuffle_network(n, 12, rng, {5, 5});
+  const IteratedRdn rdn = shuffle_to_iterated_rdn(reg);
+  const AdversaryResult r = run_adversary(rdn);
+  EXPECT_EQ(r.stages.size(), 2u);
+  EXPECT_GE(static_cast<double>(r.survivors.size()), r.theorem_bound);
+  EXPECT_GE(r.survivors.size(), 2u);
+}
+
+TEST(Theorem41, BitonicOnShufflePrefixStillRefuted) {
+  // A strict prefix of Stone's bitonic sorter (its first lg n steps -
+  // one full pass) cannot sort; the adversary must retain >= 2 survivors.
+  const wire_t n = 16;
+  const RegisterNetwork full = bitonic_on_shuffle(n);
+  RegisterNetwork prefix(n);
+  for (std::size_t s = 0; s < 4; ++s) prefix.add_step(full.step(s));
+  const AdversaryResult r = run_adversary(shuffle_to_iterated_rdn(prefix));
+  EXPECT_GE(r.survivors.size(), 2u);
+}
+
+TEST(Theorem41, AgainstDenseButterflyStages) {
+  // Fully dense butterfly RDNs (the hardest single-permutation chunks):
+  // survivors shrink but respect the bound.
+  const wire_t n = 64;
+  IteratedRdn net(n);
+  for (int c = 0; c < 2; ++c)
+    net.add_stage({Permutation::identity(n), butterfly_rdn(6)});
+  const AdversaryResult r = run_adversary(net);
+  EXPECT_GE(static_cast<double>(r.survivors.size()), r.theorem_bound);
+  EXPECT_GE(r.survivors.size(), 2u);
+  EXPECT_LT(r.survivors.size(), n);
+}
+
+TEST(Theorem41, SelectionVariantsStaySound) {
+  // E15's library contract: every SetSelection yields a pattern whose
+  // [M0]-set matches the survivors, and any extracted witness validates.
+  Prng rng(950);
+  const RegisterNetwork reg = random_shuffle_network(64, 12, rng, {5, 5});
+  const IteratedRdn rdn = shuffle_to_iterated_rdn(reg);
+  for (const SetSelection selection :
+       {SetSelection::Largest, SetSelection::FirstNonempty,
+        SetSelection::Median}) {
+    const AdversaryResult r = run_adversary(rdn, 0, selection);
+    EXPECT_EQ(r.input_pattern.set_of(sym_M(0)), r.survivors);
+    if (const auto w = extract_witness(r)) {
+      EXPECT_TRUE(check_witness(reg, *w).refutes_sorting());
+    }
+  }
+}
+
+TEST(Theorem41, LargestSelectionDominatesAblations) {
+  Prng rng(951);
+  const RegisterNetwork reg = random_shuffle_network(256, 24, rng, {0, 0});
+  const IteratedRdn rdn = shuffle_to_iterated_rdn(reg);
+  const auto largest = run_adversary(rdn, 0, SetSelection::Largest);
+  const auto first = run_adversary(rdn, 0, SetSelection::FirstNonempty);
+  EXPECT_GE(largest.survivors.size(), first.survivors.size());
+}
+
+TEST(Theorem41, RejectsDegenerateWidth) {
+  IteratedRdn net(1);
+  EXPECT_THROW(run_adversary(net), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace shufflebound {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, HandlesSingleIteration) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for(41, 42, [&](std::size_t i) {
+    EXPECT_EQ(i, 41u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, OffsetRange) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, 200, [&](std::size_t i) { sum += static_cast<long>(i); });
+  long expected = 0;
+  for (long i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 100) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SingleWorkerPool) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsNonzero) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, LargeRangeSmallPool) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100000, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100000ull * 99999 / 2);
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,80 @@
+// The hypercubic topologies of the paper's Section 1: classical
+// parameters (sizes, degrees, diameters) as structure tests.
+#include "topology/graphs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shufflebound {
+namespace {
+
+TEST(Hypercube, Parameters) {
+  for (std::uint32_t d = 1; d <= 6; ++d) {
+    const Graph g = hypercube_graph(d);
+    EXPECT_EQ(g.node_count, std::size_t{1} << d);
+    EXPECT_EQ(g.edges.size(), d * (std::size_t{1} << (d - 1)));
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_EQ(g.degree_max(), d);
+    EXPECT_EQ(g.diameter(), static_cast<long long>(d));
+  }
+}
+
+TEST(ShuffleExchange, ConstantDegreeAndLogDiameter) {
+  for (std::uint32_t d = 2; d <= 7; ++d) {
+    const Graph g = shuffle_exchange_graph(d);
+    EXPECT_EQ(g.node_count, std::size_t{1} << d);
+    EXPECT_LE(g.degree_max(), 3u);  // constant degree: the selling point
+    const long long diameter = g.diameter();
+    ASSERT_GT(diameter, 0);
+    // Diameter Theta(lg n): at most 2d - 1 hops (alternate exchange and
+    // shuffle), at least d - 1.
+    EXPECT_LE(diameter, 2ll * d - 1);
+    EXPECT_GE(diameter, static_cast<long long>(d) - 1);
+  }
+}
+
+TEST(DeBruijn, ConstantDegreeAndDiameterExactlyD) {
+  for (std::uint32_t d = 2; d <= 7; ++d) {
+    const Graph g = de_bruijn_graph(d);
+    EXPECT_EQ(g.node_count, std::size_t{1} << d);
+    EXPECT_LE(g.degree_max(), 4u);
+    EXPECT_EQ(g.diameter(), static_cast<long long>(d));
+  }
+}
+
+TEST(CubeConnectedCycles, Parameters) {
+  for (std::uint32_t d = 3; d <= 5; ++d) {
+    const Graph g = cube_connected_cycles_graph(d);
+    EXPECT_EQ(g.node_count, d * (std::size_t{1} << d));
+    EXPECT_LE(g.degree_max(), 3u);  // 2 cycle edges + 1 cube edge
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_GT(g.diameter(), 0);
+  }
+}
+
+TEST(ButterflyGraph, Parameters) {
+  for (std::uint32_t d = 1; d <= 5; ++d) {
+    const Graph g = butterfly_graph(d);
+    EXPECT_EQ(g.node_count, (d + 1) * (std::size_t{1} << d));
+    EXPECT_EQ(g.edges.size(), 2 * d * (std::size_t{1} << d));
+    EXPECT_LE(g.degree_max(), 4u);
+    EXPECT_GT(g.diameter(), 0);
+  }
+}
+
+TEST(Graphs, DiameterDetectsDisconnection) {
+  Graph g;
+  g.node_count = 4;
+  g.edges = {{0, 1}, {2, 3}};
+  EXPECT_EQ(g.diameter(), -1);
+}
+
+TEST(Graphs, HypercubeDominatesShuffleExchangeInDegree) {
+  // The tradeoff the paper's context rests on: the hypercube has lg n
+  // degree, the shuffle-exchange constant degree, at comparable diameter.
+  const std::uint32_t d = 6;
+  EXPECT_GT(hypercube_graph(d).degree_max(),
+            shuffle_exchange_graph(d).degree_max());
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,0 +1,87 @@
+// Circuit re-leveling (ASAP compaction) and level stripping.
+#include "core/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "networks/batcher.hpp"
+#include "networks/classic.hpp"
+#include "networks/shuffle.hpp"
+#include "sim/bitparallel.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+TEST(Compact, AlreadyCompactSorterUnchangedInDepth) {
+  const auto net = bitonic_sorting_network(16);
+  EXPECT_EQ(compact_levels(net).depth(), net.depth());
+  EXPECT_EQ(critical_path_depth(net), net.depth());
+}
+
+TEST(Compact, SqueezesArtificiallyStretchedNetwork) {
+  // Place independent gates on separate levels; compaction folds them.
+  ComparatorNetwork stretched(8);
+  for (wire_t i = 0; i + 1 < 8; i += 2)
+    stretched.add_level({Gate(i, i + 1, GateOp::CompareAsc)});
+  EXPECT_EQ(stretched.depth(), 4u);
+  const auto compact = compact_levels(stretched);
+  EXPECT_EQ(compact.depth(), 1u);
+  EXPECT_EQ(compact.comparator_count(), stretched.comparator_count());
+}
+
+TEST(Compact, PreservesFunction) {
+  Prng rng(1);
+  const auto reg = random_shuffle_network(16, 6, rng, {25, 10});
+  const auto net = register_to_circuit(reg).circuit;
+  const auto compact = compact_levels(net);
+  EXPECT_LE(compact.depth(), net.depth());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto input = random_permutation(16, rng);
+    auto a = std::vector<wire_t>(input.image().begin(), input.image().end());
+    net.evaluate_in_place(std::span<wire_t>(a));
+    auto b = std::vector<wire_t>(input.image().begin(), input.image().end());
+    compact.evaluate_in_place(std::span<wire_t>(b));
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(Compact, CompactedSorterStillSorts) {
+  const auto net = pratt_shellsort_network(16);
+  const auto compact = compact_levels(net);
+  EXPECT_TRUE(is_sorting_network(compact));
+  EXPECT_LE(compact.depth(), net.depth());
+}
+
+TEST(Compact, CriticalPathOfSparseNetworkIsShallow) {
+  // A padded/truncated RDN chunk: stored depth lg n but most levels
+  // empty - the critical path sees through that.
+  Prng rng(2);
+  const auto reg = random_shuffle_network(16, 2, rng, {0, 0});
+  auto net = register_to_circuit(reg).circuit;
+  net.add_level(Level{});
+  net.add_level(Level{});
+  EXPECT_EQ(net.depth(), 4u);
+  EXPECT_EQ(critical_path_depth(net), 2u);
+}
+
+TEST(StripEmptyLevels, RemovesOnlyEmpties) {
+  ComparatorNetwork net(4);
+  net.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  net.add_level(Level{});
+  net.add_level({Gate(2, 3, GateOp::CompareAsc)});
+  const auto stripped = strip_empty_levels(net);
+  EXPECT_EQ(stripped.depth(), 2u);
+  EXPECT_EQ(stripped.comparator_count(), 2u);
+}
+
+TEST(Compact, IdempotentAndOrderStable) {
+  Prng rng(3);
+  const auto net =
+      register_to_circuit(random_shuffle_network(8, 5, rng, {30, 0})).circuit;
+  const auto once = compact_levels(net);
+  const auto twice = compact_levels(once);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace shufflebound
