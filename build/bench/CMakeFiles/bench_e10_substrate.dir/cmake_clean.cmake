@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_substrate.dir/bench_e10_substrate.cpp.o"
+  "CMakeFiles/bench_e10_substrate.dir/bench_e10_substrate.cpp.o.d"
+  "bench_e10_substrate"
+  "bench_e10_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

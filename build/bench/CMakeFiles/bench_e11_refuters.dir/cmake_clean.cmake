@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_refuters.dir/bench_e11_refuters.cpp.o"
+  "CMakeFiles/bench_e11_refuters.dir/bench_e11_refuters.cpp.o.d"
+  "bench_e11_refuters"
+  "bench_e11_refuters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_refuters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_min_depth.dir/bench_e12_min_depth.cpp.o"
+  "CMakeFiles/bench_e12_min_depth.dir/bench_e12_min_depth.cpp.o.d"
+  "bench_e12_min_depth"
+  "bench_e12_min_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_min_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

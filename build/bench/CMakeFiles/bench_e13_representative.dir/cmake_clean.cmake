@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_representative.dir/bench_e13_representative.cpp.o"
+  "CMakeFiles/bench_e13_representative.dir/bench_e13_representative.cpp.o.d"
+  "bench_e13_representative"
+  "bench_e13_representative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_representative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_halvers.dir/bench_e14_halvers.cpp.o"
+  "CMakeFiles/bench_e14_halvers.dir/bench_e14_halvers.cpp.o.d"
+  "bench_e14_halvers"
+  "bench_e14_halvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_halvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_selection_ablation.dir/bench_e15_selection_ablation.cpp.o"
+  "CMakeFiles/bench_e15_selection_ablation.dir/bench_e15_selection_ablation.cpp.o.d"
+  "bench_e15_selection_ablation"
+  "bench_e15_selection_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_selection_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

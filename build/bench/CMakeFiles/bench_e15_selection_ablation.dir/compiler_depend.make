@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e15_selection_ablation.
+# This may be replaced when dependencies are built.

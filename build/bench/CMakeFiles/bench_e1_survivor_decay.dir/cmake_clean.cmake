@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_survivor_decay.dir/bench_e1_survivor_decay.cpp.o"
+  "CMakeFiles/bench_e1_survivor_decay.dir/bench_e1_survivor_decay.cpp.o.d"
+  "bench_e1_survivor_decay"
+  "bench_e1_survivor_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_survivor_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_depth_bounds.dir/bench_e2_depth_bounds.cpp.o"
+  "CMakeFiles/bench_e2_depth_bounds.dir/bench_e2_depth_bounds.cpp.o.d"
+  "bench_e2_depth_bounds"
+  "bench_e2_depth_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_depth_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_lemma41_loss.dir/bench_e3_lemma41_loss.cpp.o"
+  "CMakeFiles/bench_e3_lemma41_loss.dir/bench_e3_lemma41_loss.cpp.o.d"
+  "bench_e3_lemma41_loss"
+  "bench_e3_lemma41_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_lemma41_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_naive_vs_multiset.dir/bench_e4_naive_vs_multiset.cpp.o"
+  "CMakeFiles/bench_e4_naive_vs_multiset.dir/bench_e4_naive_vs_multiset.cpp.o.d"
+  "bench_e4_naive_vs_multiset"
+  "bench_e4_naive_vs_multiset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_naive_vs_multiset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_naive_vs_multiset.
+# This may be replaced when dependencies are built.

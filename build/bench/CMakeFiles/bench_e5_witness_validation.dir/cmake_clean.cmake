@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_witness_validation.dir/bench_e5_witness_validation.cpp.o"
+  "CMakeFiles/bench_e5_witness_validation.dir/bench_e5_witness_validation.cpp.o.d"
+  "bench_e5_witness_validation"
+  "bench_e5_witness_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_witness_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_truncated_rdn.dir/bench_e6_truncated_rdn.cpp.o"
+  "CMakeFiles/bench_e6_truncated_rdn.dir/bench_e6_truncated_rdn.cpp.o.d"
+  "bench_e6_truncated_rdn"
+  "bench_e6_truncated_rdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_truncated_rdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

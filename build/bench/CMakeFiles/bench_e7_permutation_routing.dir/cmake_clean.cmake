@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_permutation_routing.dir/bench_e7_permutation_routing.cpp.o"
+  "CMakeFiles/bench_e7_permutation_routing.dir/bench_e7_permutation_routing.cpp.o.d"
+  "bench_e7_permutation_routing"
+  "bench_e7_permutation_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_permutation_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

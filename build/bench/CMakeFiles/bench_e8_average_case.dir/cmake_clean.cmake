@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_average_case.dir/bench_e8_average_case.cpp.o"
+  "CMakeFiles/bench_e8_average_case.dir/bench_e8_average_case.cpp.o.d"
+  "bench_e8_average_case"
+  "bench_e8_average_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_average_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

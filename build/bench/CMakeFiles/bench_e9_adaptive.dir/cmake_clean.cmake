@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_adaptive.dir/bench_e9_adaptive.cpp.o"
+  "CMakeFiles/bench_e9_adaptive.dir/bench_e9_adaptive.cpp.o.d"
+  "bench_e9_adaptive"
+  "bench_e9_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_trace.dir/adversary_trace.cpp.o"
+  "CMakeFiles/adversary_trace.dir/adversary_trace.cpp.o.d"
+  "adversary_trace"
+  "adversary_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_witness.dir/lower_bound_witness.cpp.o"
+  "CMakeFiles/lower_bound_witness.dir/lower_bound_witness.cpp.o.d"
+  "lower_bound_witness"
+  "lower_bound_witness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

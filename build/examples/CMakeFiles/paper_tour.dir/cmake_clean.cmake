@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_tour.dir/paper_tour.cpp.o"
+  "CMakeFiles/paper_tour.dir/paper_tour.cpp.o.d"
+  "paper_tour"
+  "paper_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_playground.dir/pattern_playground.cpp.o"
+  "CMakeFiles/pattern_playground.dir/pattern_playground.cpp.o.d"
+  "pattern_playground"
+  "pattern_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pattern_playground.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_sorter.dir/shuffle_sorter.cpp.o"
+  "CMakeFiles/shuffle_sorter.dir/shuffle_sorter.cpp.o.d"
+  "shuffle_sorter"
+  "shuffle_sorter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

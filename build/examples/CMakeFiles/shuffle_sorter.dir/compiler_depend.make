@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shuffle_sorter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("perm")
+subdirs("core")
+subdirs("networks")
+subdirs("pattern")
+subdirs("adversary")
+subdirs("routing")
+subdirs("analysis")
+subdirs("sim")
+subdirs("machine")
+subdirs("topology")

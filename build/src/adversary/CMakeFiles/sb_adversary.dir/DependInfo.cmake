@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/certificate.cpp" "src/adversary/CMakeFiles/sb_adversary.dir/certificate.cpp.o" "gcc" "src/adversary/CMakeFiles/sb_adversary.dir/certificate.cpp.o.d"
+  "/root/repo/src/adversary/lemma41.cpp" "src/adversary/CMakeFiles/sb_adversary.dir/lemma41.cpp.o" "gcc" "src/adversary/CMakeFiles/sb_adversary.dir/lemma41.cpp.o.d"
+  "/root/repo/src/adversary/naive.cpp" "src/adversary/CMakeFiles/sb_adversary.dir/naive.cpp.o" "gcc" "src/adversary/CMakeFiles/sb_adversary.dir/naive.cpp.o.d"
+  "/root/repo/src/adversary/refuter.cpp" "src/adversary/CMakeFiles/sb_adversary.dir/refuter.cpp.o" "gcc" "src/adversary/CMakeFiles/sb_adversary.dir/refuter.cpp.o.d"
+  "/root/repo/src/adversary/theorem41.cpp" "src/adversary/CMakeFiles/sb_adversary.dir/theorem41.cpp.o" "gcc" "src/adversary/CMakeFiles/sb_adversary.dir/theorem41.cpp.o.d"
+  "/root/repo/src/adversary/witness.cpp" "src/adversary/CMakeFiles/sb_adversary.dir/witness.cpp.o" "gcc" "src/adversary/CMakeFiles/sb_adversary.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pattern/CMakeFiles/sb_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/networks/CMakeFiles/sb_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/sb_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

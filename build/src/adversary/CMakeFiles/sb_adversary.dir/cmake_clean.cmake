@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_adversary.dir/certificate.cpp.o"
+  "CMakeFiles/sb_adversary.dir/certificate.cpp.o.d"
+  "CMakeFiles/sb_adversary.dir/lemma41.cpp.o"
+  "CMakeFiles/sb_adversary.dir/lemma41.cpp.o.d"
+  "CMakeFiles/sb_adversary.dir/naive.cpp.o"
+  "CMakeFiles/sb_adversary.dir/naive.cpp.o.d"
+  "CMakeFiles/sb_adversary.dir/refuter.cpp.o"
+  "CMakeFiles/sb_adversary.dir/refuter.cpp.o.d"
+  "CMakeFiles/sb_adversary.dir/theorem41.cpp.o"
+  "CMakeFiles/sb_adversary.dir/theorem41.cpp.o.d"
+  "CMakeFiles/sb_adversary.dir/witness.cpp.o"
+  "CMakeFiles/sb_adversary.dir/witness.cpp.o.d"
+  "libsb_adversary.a"
+  "libsb_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adjacent.cpp" "src/analysis/CMakeFiles/sb_analysis.dir/adjacent.cpp.o" "gcc" "src/analysis/CMakeFiles/sb_analysis.dir/adjacent.cpp.o.d"
+  "/root/repo/src/analysis/depth_profile.cpp" "src/analysis/CMakeFiles/sb_analysis.dir/depth_profile.cpp.o" "gcc" "src/analysis/CMakeFiles/sb_analysis.dir/depth_profile.cpp.o.d"
+  "/root/repo/src/analysis/representative.cpp" "src/analysis/CMakeFiles/sb_analysis.dir/representative.cpp.o" "gcc" "src/analysis/CMakeFiles/sb_analysis.dir/representative.cpp.o.d"
+  "/root/repo/src/analysis/search.cpp" "src/analysis/CMakeFiles/sb_analysis.dir/search.cpp.o" "gcc" "src/analysis/CMakeFiles/sb_analysis.dir/search.cpp.o.d"
+  "/root/repo/src/analysis/sortedness.cpp" "src/analysis/CMakeFiles/sb_analysis.dir/sortedness.cpp.o" "gcc" "src/analysis/CMakeFiles/sb_analysis.dir/sortedness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/networks/CMakeFiles/sb_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/sb_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_analysis.dir/adjacent.cpp.o"
+  "CMakeFiles/sb_analysis.dir/adjacent.cpp.o.d"
+  "CMakeFiles/sb_analysis.dir/depth_profile.cpp.o"
+  "CMakeFiles/sb_analysis.dir/depth_profile.cpp.o.d"
+  "CMakeFiles/sb_analysis.dir/representative.cpp.o"
+  "CMakeFiles/sb_analysis.dir/representative.cpp.o.d"
+  "CMakeFiles/sb_analysis.dir/search.cpp.o"
+  "CMakeFiles/sb_analysis.dir/search.cpp.o.d"
+  "CMakeFiles/sb_analysis.dir/sortedness.cpp.o"
+  "CMakeFiles/sb_analysis.dir/sortedness.cpp.o.d"
+  "libsb_analysis.a"
+  "libsb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitparallel.cpp" "src/core/CMakeFiles/sb_core.dir/bitparallel.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/bitparallel.cpp.o.d"
+  "/root/repo/src/core/comparator_network.cpp" "src/core/CMakeFiles/sb_core.dir/comparator_network.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/comparator_network.cpp.o.d"
+  "/root/repo/src/core/diagram.cpp" "src/core/CMakeFiles/sb_core.dir/diagram.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/diagram.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/sb_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/register_network.cpp" "src/core/CMakeFiles/sb_core.dir/register_network.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/register_network.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/core/CMakeFiles/sb_core.dir/transform.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perm/CMakeFiles/sb_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_core.dir/bitparallel.cpp.o"
+  "CMakeFiles/sb_core.dir/bitparallel.cpp.o.d"
+  "CMakeFiles/sb_core.dir/comparator_network.cpp.o"
+  "CMakeFiles/sb_core.dir/comparator_network.cpp.o.d"
+  "CMakeFiles/sb_core.dir/diagram.cpp.o"
+  "CMakeFiles/sb_core.dir/diagram.cpp.o.d"
+  "CMakeFiles/sb_core.dir/io.cpp.o"
+  "CMakeFiles/sb_core.dir/io.cpp.o.d"
+  "CMakeFiles/sb_core.dir/register_network.cpp.o"
+  "CMakeFiles/sb_core.dir/register_network.cpp.o.d"
+  "CMakeFiles/sb_core.dir/transform.cpp.o"
+  "CMakeFiles/sb_core.dir/transform.cpp.o.d"
+  "libsb_core.a"
+  "libsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

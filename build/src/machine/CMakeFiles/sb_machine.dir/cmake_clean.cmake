@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_machine.dir/ascend.cpp.o"
+  "CMakeFiles/sb_machine.dir/ascend.cpp.o.d"
+  "libsb_machine.a"
+  "libsb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

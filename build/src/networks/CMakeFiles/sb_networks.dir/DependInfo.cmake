@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/networks/batcher.cpp" "src/networks/CMakeFiles/sb_networks.dir/batcher.cpp.o" "gcc" "src/networks/CMakeFiles/sb_networks.dir/batcher.cpp.o.d"
+  "/root/repo/src/networks/classic.cpp" "src/networks/CMakeFiles/sb_networks.dir/classic.cpp.o" "gcc" "src/networks/CMakeFiles/sb_networks.dir/classic.cpp.o.d"
+  "/root/repo/src/networks/halver.cpp" "src/networks/CMakeFiles/sb_networks.dir/halver.cpp.o" "gcc" "src/networks/CMakeFiles/sb_networks.dir/halver.cpp.o.d"
+  "/root/repo/src/networks/rdn.cpp" "src/networks/CMakeFiles/sb_networks.dir/rdn.cpp.o" "gcc" "src/networks/CMakeFiles/sb_networks.dir/rdn.cpp.o.d"
+  "/root/repo/src/networks/rdn_io.cpp" "src/networks/CMakeFiles/sb_networks.dir/rdn_io.cpp.o" "gcc" "src/networks/CMakeFiles/sb_networks.dir/rdn_io.cpp.o.d"
+  "/root/repo/src/networks/shuffle.cpp" "src/networks/CMakeFiles/sb_networks.dir/shuffle.cpp.o" "gcc" "src/networks/CMakeFiles/sb_networks.dir/shuffle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/sb_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_networks.dir/batcher.cpp.o"
+  "CMakeFiles/sb_networks.dir/batcher.cpp.o.d"
+  "CMakeFiles/sb_networks.dir/classic.cpp.o"
+  "CMakeFiles/sb_networks.dir/classic.cpp.o.d"
+  "CMakeFiles/sb_networks.dir/halver.cpp.o"
+  "CMakeFiles/sb_networks.dir/halver.cpp.o.d"
+  "CMakeFiles/sb_networks.dir/rdn.cpp.o"
+  "CMakeFiles/sb_networks.dir/rdn.cpp.o.d"
+  "CMakeFiles/sb_networks.dir/rdn_io.cpp.o"
+  "CMakeFiles/sb_networks.dir/rdn_io.cpp.o.d"
+  "CMakeFiles/sb_networks.dir/shuffle.cpp.o"
+  "CMakeFiles/sb_networks.dir/shuffle.cpp.o.d"
+  "libsb_networks.a"
+  "libsb_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

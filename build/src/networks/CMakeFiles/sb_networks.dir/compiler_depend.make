@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sb_networks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/collision.cpp" "src/pattern/CMakeFiles/sb_pattern.dir/collision.cpp.o" "gcc" "src/pattern/CMakeFiles/sb_pattern.dir/collision.cpp.o.d"
+  "/root/repo/src/pattern/format.cpp" "src/pattern/CMakeFiles/sb_pattern.dir/format.cpp.o" "gcc" "src/pattern/CMakeFiles/sb_pattern.dir/format.cpp.o.d"
+  "/root/repo/src/pattern/input_pattern.cpp" "src/pattern/CMakeFiles/sb_pattern.dir/input_pattern.cpp.o" "gcc" "src/pattern/CMakeFiles/sb_pattern.dir/input_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/networks/CMakeFiles/sb_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/sb_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_pattern.dir/collision.cpp.o"
+  "CMakeFiles/sb_pattern.dir/collision.cpp.o.d"
+  "CMakeFiles/sb_pattern.dir/format.cpp.o"
+  "CMakeFiles/sb_pattern.dir/format.cpp.o.d"
+  "CMakeFiles/sb_pattern.dir/input_pattern.cpp.o"
+  "CMakeFiles/sb_pattern.dir/input_pattern.cpp.o.d"
+  "libsb_pattern.a"
+  "libsb_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

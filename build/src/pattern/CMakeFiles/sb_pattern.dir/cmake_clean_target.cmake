@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsb_pattern.a"
+)

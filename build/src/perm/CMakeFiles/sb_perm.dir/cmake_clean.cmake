@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_perm.dir/permutation.cpp.o"
+  "CMakeFiles/sb_perm.dir/permutation.cpp.o.d"
+  "libsb_perm.a"
+  "libsb_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

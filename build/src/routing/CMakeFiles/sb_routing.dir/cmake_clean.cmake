@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_routing.dir/benes.cpp.o"
+  "CMakeFiles/sb_routing.dir/benes.cpp.o.d"
+  "libsb_routing.a"
+  "libsb_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsb_routing.a"
+)

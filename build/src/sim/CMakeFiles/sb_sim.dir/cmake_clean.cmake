@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_sim.dir/batch.cpp.o"
+  "CMakeFiles/sb_sim.dir/batch.cpp.o.d"
+  "libsb_sim.a"
+  "libsb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

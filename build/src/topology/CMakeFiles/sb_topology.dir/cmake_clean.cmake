@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_topology.dir/graphs.cpp.o"
+  "CMakeFiles/sb_topology.dir/graphs.cpp.o.d"
+  "libsb_topology.a"
+  "libsb_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

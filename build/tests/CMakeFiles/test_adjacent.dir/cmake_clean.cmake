@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adjacent.dir/test_adjacent.cpp.o"
+  "CMakeFiles/test_adjacent.dir/test_adjacent.cpp.o.d"
+  "test_adjacent"
+  "test_adjacent.pdb"
+  "test_adjacent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adjacent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

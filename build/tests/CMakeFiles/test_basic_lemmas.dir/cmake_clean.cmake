@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_lemmas.dir/test_basic_lemmas.cpp.o"
+  "CMakeFiles/test_basic_lemmas.dir/test_basic_lemmas.cpp.o.d"
+  "test_basic_lemmas"
+  "test_basic_lemmas.pdb"
+  "test_basic_lemmas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

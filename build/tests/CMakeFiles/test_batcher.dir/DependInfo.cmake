@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batcher.cpp" "tests/CMakeFiles/test_batcher.dir/test_batcher.cpp.o" "gcc" "tests/CMakeFiles/test_batcher.dir/test_batcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/sb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sb_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/sb_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sb_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/sb_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/networks/CMakeFiles/sb_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/sb_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batcher.dir/test_batcher.cpp.o"
+  "CMakeFiles/test_batcher.dir/test_batcher.cpp.o.d"
+  "test_batcher"
+  "test_batcher.pdb"
+  "test_batcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benes.dir/test_benes.cpp.o"
+  "CMakeFiles/test_benes.dir/test_benes.cpp.o.d"
+  "test_benes"
+  "test_benes.pdb"
+  "test_benes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

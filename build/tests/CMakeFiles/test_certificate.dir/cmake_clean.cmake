@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certificate.dir/test_certificate.cpp.o"
+  "CMakeFiles/test_certificate.dir/test_certificate.cpp.o.d"
+  "test_certificate"
+  "test_certificate.pdb"
+  "test_certificate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certificate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

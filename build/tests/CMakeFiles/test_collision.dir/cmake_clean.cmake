@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collision.dir/test_collision.cpp.o"
+  "CMakeFiles/test_collision.dir/test_collision.cpp.o.d"
+  "test_collision"
+  "test_collision.pdb"
+  "test_collision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

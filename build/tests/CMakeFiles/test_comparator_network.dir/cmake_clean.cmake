@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comparator_network.dir/test_comparator_network.cpp.o"
+  "CMakeFiles/test_comparator_network.dir/test_comparator_network.cpp.o.d"
+  "test_comparator_network"
+  "test_comparator_network.pdb"
+  "test_comparator_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comparator_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

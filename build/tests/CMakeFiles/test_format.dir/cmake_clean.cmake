@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format.dir/test_format.cpp.o"
+  "CMakeFiles/test_format.dir/test_format.cpp.o.d"
+  "test_format"
+  "test_format.pdb"
+  "test_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halver.dir/test_halver.cpp.o"
+  "CMakeFiles/test_halver.dir/test_halver.cpp.o.d"
+  "test_halver"
+  "test_halver.pdb"
+  "test_halver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_pattern.dir/test_input_pattern.cpp.o"
+  "CMakeFiles/test_input_pattern.dir/test_input_pattern.cpp.o.d"
+  "test_input_pattern"
+  "test_input_pattern.pdb"
+  "test_input_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

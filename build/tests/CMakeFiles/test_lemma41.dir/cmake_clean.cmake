@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lemma41.dir/test_lemma41.cpp.o"
+  "CMakeFiles/test_lemma41.dir/test_lemma41.cpp.o.d"
+  "test_lemma41"
+  "test_lemma41.pdb"
+  "test_lemma41[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lemma41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

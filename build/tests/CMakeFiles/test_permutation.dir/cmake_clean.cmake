@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permutation.dir/test_permutation.cpp.o"
+  "CMakeFiles/test_permutation.dir/test_permutation.cpp.o.d"
+  "test_permutation"
+  "test_permutation.pdb"
+  "test_permutation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

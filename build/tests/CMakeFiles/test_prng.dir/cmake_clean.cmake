@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prng.dir/test_prng.cpp.o"
+  "CMakeFiles/test_prng.dir/test_prng.cpp.o.d"
+  "test_prng"
+  "test_prng.pdb"
+  "test_prng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_sweeps.dir/test_property_sweeps.cpp.o"
+  "CMakeFiles/test_property_sweeps.dir/test_property_sweeps.cpp.o.d"
+  "test_property_sweeps"
+  "test_property_sweeps.pdb"
+  "test_property_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

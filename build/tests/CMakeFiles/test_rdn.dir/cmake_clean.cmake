@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdn.dir/test_rdn.cpp.o"
+  "CMakeFiles/test_rdn.dir/test_rdn.cpp.o.d"
+  "test_rdn"
+  "test_rdn.pdb"
+  "test_rdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdn_io.dir/test_rdn_io.cpp.o"
+  "CMakeFiles/test_rdn_io.dir/test_rdn_io.cpp.o.d"
+  "test_rdn_io"
+  "test_rdn_io.pdb"
+  "test_rdn_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdn_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

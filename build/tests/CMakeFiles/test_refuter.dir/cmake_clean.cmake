@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refuter.dir/test_refuter.cpp.o"
+  "CMakeFiles/test_refuter.dir/test_refuter.cpp.o.d"
+  "test_refuter"
+  "test_refuter.pdb"
+  "test_refuter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refuter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

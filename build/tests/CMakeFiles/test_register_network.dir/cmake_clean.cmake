@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_network.dir/test_register_network.cpp.o"
+  "CMakeFiles/test_register_network.dir/test_register_network.cpp.o.d"
+  "test_register_network"
+  "test_register_network.pdb"
+  "test_register_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

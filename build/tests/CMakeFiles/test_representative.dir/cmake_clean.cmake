@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_representative.dir/test_representative.cpp.o"
+  "CMakeFiles/test_representative.dir/test_representative.cpp.o.d"
+  "test_representative"
+  "test_representative.pdb"
+  "test_representative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_representative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

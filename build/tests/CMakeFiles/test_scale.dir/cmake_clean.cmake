@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale.dir/test_scale.cpp.o"
+  "CMakeFiles/test_scale.dir/test_scale.cpp.o.d"
+  "test_scale"
+  "test_scale.pdb"
+  "test_scale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shuffle.dir/test_shuffle.cpp.o"
+  "CMakeFiles/test_shuffle.dir/test_shuffle.cpp.o.d"
+  "test_shuffle"
+  "test_shuffle.pdb"
+  "test_shuffle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoke.dir/test_smoke.cpp.o"
+  "CMakeFiles/test_smoke.dir/test_smoke.cpp.o.d"
+  "test_smoke"
+  "test_smoke.pdb"
+  "test_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbol.dir/test_symbol.cpp.o"
+  "CMakeFiles/test_symbol.dir/test_symbol.cpp.o.d"
+  "test_symbol"
+  "test_symbol.pdb"
+  "test_symbol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorem41.dir/test_theorem41.cpp.o"
+  "CMakeFiles/test_theorem41.dir/test_theorem41.cpp.o.d"
+  "test_theorem41"
+  "test_theorem41.pdb"
+  "test_theorem41[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorem41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

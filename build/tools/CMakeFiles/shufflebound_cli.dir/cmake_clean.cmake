@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shufflebound_cli.dir/shufflebound_cli.cpp.o"
+  "CMakeFiles/shufflebound_cli.dir/shufflebound_cli.cpp.o.d"
+  "shufflebound_cli"
+  "shufflebound_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shufflebound_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

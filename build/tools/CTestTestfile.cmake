@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_make_certify_sorter "sh" "-c" "/root/repo/build/tools/shufflebound_cli make bitonic 16 > net.txt && /root/repo/build/tools/shufflebound_cli certify net.txt")
+set_tests_properties(cli_make_certify_sorter PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_refute_and_verify "sh" "-c" "/root/repo/build/tools/shufflebound_cli make random-shuffle 32 8 7 > shallow.txt && /root/repo/build/tools/shufflebound_cli refute shallow.txt > cert.txt && /root/repo/build/tools/shufflebound_cli verify shallow.txt cert.txt")
+set_tests_properties(cli_refute_and_verify PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_certify_rejects_shallow "sh" "-c" "/root/repo/build/tools/shufflebound_cli make random-shuffle 16 4 3 > s.txt && ! /root/repo/build/tools/shufflebound_cli certify s.txt")
+set_tests_properties(cli_certify_rejects_shallow PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info_and_dot "sh" "-c" "/root/repo/build/tools/shufflebound_cli make butterfly 16 > b.txt && /root/repo/build/tools/shufflebound_cli info b.txt && /root/repo/build/tools/shufflebound_cli dot b.txt > b.dot && grep -q digraph b.dot")
+set_tests_properties(cli_info_and_dot PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_route "sh" "-c" "/root/repo/build/tools/shufflebound_cli route 64 5 > r.txt && /root/repo/build/tools/shufflebound_cli info r.txt")
+set_tests_properties(cli_route PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compact_and_search "sh" "-c" "/root/repo/build/tools/shufflebound_cli search 4 6 > min4.txt && /root/repo/build/tools/shufflebound_cli certify min4.txt && /root/repo/build/tools/shufflebound_cli make bitonic 8 > b8.txt && /root/repo/build/tools/shufflebound_cli compact b8.txt > b8c.txt && /root/repo/build/tools/shufflebound_cli certify b8c.txt")
+set_tests_properties(cli_compact_and_search PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_prune_breaks_sorting "sh" "-c" "/root/repo/build/tools/shufflebound_cli make bitonic-shuffle 16 > s16.txt && /root/repo/build/tools/shufflebound_cli prune s16.txt 32 5 > pruned.txt && ! /root/repo/build/tools/shufflebound_cli certify pruned.txt")
+set_tests_properties(cli_prune_breaks_sorting PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_refute_iterated_file "sh" "-c" "/root/repo/build/tools/shufflebound_cli refute /root/repo/tools/../tests/data/iterated_sample.txt > icert.txt && grep -q nonsorting-certificate icert.txt")
+set_tests_properties(cli_refute_iterated_file PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
