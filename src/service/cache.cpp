@@ -1,0 +1,53 @@
+#include "service/cache.hpp"
+
+#include <mutex>
+
+namespace shufflebound {
+
+std::optional<JsonValue> ResultCache::lookup(const CacheKey& key) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ResultCache::insert(const CacheKey& key, JsonValue payload) {
+  std::unique_lock lock(mutex_);
+  entries_.insert_or_assign(key, std::move(payload));
+}
+
+void ResultCache::invalidate(const CacheKey& key) {
+  std::unique_lock lock(mutex_);
+  if (entries_.erase(key) != 0)
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock lock(mutex_);
+    stats.entries = entries_.size();
+  }
+  return stats;
+}
+
+JsonValue ResultCache::stats_to_json() const {
+  const Stats stats = this->stats();
+  JsonValue out = JsonValue::object();
+  out.set("hits", stats.hits);
+  out.set("misses", stats.misses);
+  out.set("invalidations", stats.invalidations);
+  out.set("entries", stats.entries);
+  return out;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,78 @@
+// Content-addressed result cache for the analysis engine.
+//
+// Keys combine the canonical network fingerprint with a hash of the
+// result-affecting job parameters (kind; trials/seed for count-sorted;
+// k for refute). Values are the serialized-result payloads - exactly what
+// a fresh computation would emit, so a hit and a miss produce
+// byte-identical result lines.
+//
+// The cache stores only completed, successful analyses; errors and
+// timed-out jobs are never cached. Refutation payloads are additionally
+// re-validated against the submitted network before being served (the
+// engine replays the witness pair; see engine.cpp) - a cache can then be
+// trusted exactly as far as the machine-checkable certificate, not as far
+// as the cache's own integrity.
+//
+// Concurrency: shared_mutex, readers parallel, writers exclusive. Two
+// workers computing the same key concurrently both insert; last write
+// wins, and since payloads are deterministic the duplicates are
+// identical.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "service/fingerprint.hpp"
+#include "service/json.hpp"
+
+namespace shufflebound {
+
+struct CacheKey {
+  Fingerprint network;
+  std::uint64_t params = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept {
+    // Fingerprint words are already well mixed; fold them.
+    return static_cast<std::size_t>(key.network.hi ^
+                                    (key.network.lo * 0x9E3779B97F4A7C15ull) ^
+                                    (key.params * 0xBF58476D1CE4E5B9ull));
+  }
+};
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t entries = 0;
+  };
+
+  /// Returns the cached payload, counting a hit or miss.
+  std::optional<JsonValue> lookup(const CacheKey& key);
+
+  void insert(const CacheKey& key, JsonValue payload);
+
+  /// Drops an entry that failed re-validation; counts an invalidation.
+  void invalidate(const CacheKey& key);
+
+  Stats stats() const;
+
+  JsonValue stats_to_json() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<CacheKey, JsonValue, CacheKeyHash> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace shufflebound

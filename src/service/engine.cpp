@@ -1,0 +1,467 @@
+#include "service/engine.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+#include "adversary/certificate.hpp"
+#include "adversary/refuter.hpp"
+#include "analysis/sortedness.hpp"
+#include "core/bitparallel.hpp"
+#include "sim/batch.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Internal control-flow signal for cooperative timeouts.
+struct JobTimeout {};
+
+void check_deadline(Clock::time_point deadline) {
+  if (deadline != Clock::time_point::max() && Clock::now() >= deadline)
+    throw JobTimeout{};
+}
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+JsonValue wires_to_json(std::span<const wire_t> values) {
+  JsonValue arr = JsonValue::array();
+  for (const wire_t v : values) arr.push_back(static_cast<unsigned>(v));
+  return arr;
+}
+
+/// Runs input permutation `input` through the network in its own model
+/// (register/iterated outputs are in register / final-slot order).
+template <typename Net>
+std::vector<wire_t> run_input(const Net& net, const Permutation& input) {
+  std::vector<wire_t> values(input.image().begin(), input.image().end());
+  if constexpr (std::is_same_v<Net, ComparatorNetwork>) {
+    net.evaluate_in_place(std::span<wire_t>(values));
+  } else {
+    net.evaluate_in_place(values);
+  }
+  return values;
+}
+
+std::vector<wire_t> run_input(const ParsedNetwork& net,
+                              const Permutation& input) {
+  if (net.iterated_form) return run_input(*net.iterated_form, input);
+  if (net.register_form) return run_input(*net.register_form, input);
+  return run_input(net.circuit, input);
+}
+
+// ---------------------------------------------------------------- info --
+
+JsonValue info_payload(const ParsedNetwork& net) {
+  const NetworkStats stats = network_stats(net.circuit);
+  JsonValue payload = JsonValue::object();
+  payload.set("model", net.model_name());
+  payload.set("width", stats.width);
+  payload.set("depth", static_cast<std::uint64_t>(stats.depth));
+  payload.set("comparators", static_cast<std::uint64_t>(stats.comparators));
+  payload.set("exchanges", static_cast<std::uint64_t>(stats.exchanges));
+  payload.set("empty_levels", static_cast<std::uint64_t>(stats.empty_levels));
+  if (!net.register_form && !net.iterated_form && is_pow2(stats.width) &&
+      stats.depth == log2_exact(stats.width)) {
+    payload.set("rdn_recognized", recognize_rdn(net.circuit).has_value());
+  }
+  return payload;
+}
+
+// ------------------------------------------------------------- certify --
+
+/// Deadline-aware strict 0-1 sweep (single-threaded: job-level parallelism
+/// lives across jobs, which keeps the first failing vector deterministic).
+template <typename Net>
+std::optional<std::uint64_t> strict_sweep(const Net& net,
+                                          Clock::time_point deadline) {
+  const wire_t n = net.width();
+  const std::uint64_t total = std::uint64_t{1} << n;
+  std::vector<std::uint64_t> words(n, 0);
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    if ((base & 0xFFFFull) == 0) check_deadline(deadline);
+    for (wire_t w = 0; w < n; ++w) {
+      std::uint64_t word = 0;
+      for (std::uint64_t s = 0; s < 64 && base + s < total; ++s)
+        word |= ((base + s) >> w & 1ull) << s;
+      words[w] = word;
+    }
+    evaluate_packed(net, words);
+    std::uint64_t bad = 0;
+    for (wire_t w = 0; w + 1 < n; ++w) bad |= words[w] & ~words[w + 1];
+    if (base + 64 > total && total - base != 64)
+      bad &= (std::uint64_t{1} << (total - base)) - 1;
+    if (bad != 0)
+      return base + static_cast<std::uint64_t>(std::countr_zero(bad));
+  }
+  return std::nullopt;
+}
+
+template <typename Net>
+JsonValue certify_payload(const Net& net, Clock::time_point deadline) {
+  const wire_t n = net.width();
+  if (n > 24)
+    throw std::invalid_argument("certify: exhaustive sweep limited to n <= 24");
+  const std::optional<std::uint64_t> failing = strict_sweep(net, deadline);
+  JsonValue payload = JsonValue::object();
+  if (!failing) {
+    payload.set("verdict", "sorting");
+  } else {
+    check_deadline(deadline);
+    // The paper's general definition allows a fixed output rank
+    // assignment; mirror the CLI's fallback.
+    const RelabelReport relabeled = zero_one_check_up_to_relabel(net);
+    if (relabeled.sorts) {
+      payload.set("verdict", "sorting-up-to-relabel");
+      payload.set("ranks", wires_to_json(relabeled.ranks->image()));
+    } else {
+      payload.set("verdict", "not-sorting");
+      payload.set("failing_vector", hex_u64(*failing));
+    }
+  }
+  payload.set("vectors_checked", std::uint64_t{1} << n);
+  return payload;
+}
+
+// -------------------------------------------------------- count-sorted --
+
+template <typename Net>
+JsonValue count_sorted_payload(const Net& net, const JobSpec& spec,
+                               Clock::time_point deadline) {
+  std::size_t sorted = 0;
+  for (std::size_t index = 0; index < spec.trials; ++index) {
+    if ((index & 1023u) == 0) check_deadline(deadline);
+    // Per-trial generator derivation identical to
+    // BatchEvaluator::count_trials, so engine results match the
+    // simulator's for the same (trials, seed) at any concurrency.
+    std::uint64_t mix = spec.seed ^ (0xA0761D6478BD642Full * (index + 1));
+    Prng rng(splitmix64(mix));
+    const Permutation input = random_permutation(net.width(), rng);
+    if (is_sorted_output(run_input(net, input))) ++sorted;
+  }
+  JsonValue payload = JsonValue::object();
+  payload.set("trials", static_cast<std::uint64_t>(spec.trials));
+  payload.set("sorted", static_cast<std::uint64_t>(sorted));
+  payload.set("fraction",
+              spec.trials == 0
+                  ? 0.0
+                  : static_cast<double>(sorted) /
+                        static_cast<double>(spec.trials));
+  return payload;
+}
+
+// -------------------------------------------------------------- refute --
+
+JsonValue witness_to_json(const Witness& w) {
+  JsonValue out = JsonValue::object();
+  out.set("pi", wires_to_json(w.pi.image()));
+  out.set("pi_prime", wires_to_json(w.pi_prime.image()));
+  out.set("w0", w.w0);
+  out.set("w1", w.w1);
+  out.set("m", w.m);
+  return out;
+}
+
+JsonValue refute_payload(const ParsedNetwork& net, const JobSpec& spec,
+                         Clock::time_point deadline) {
+  check_deadline(deadline);
+  const RefutationResult result =
+      net.iterated_form   ? refute(*net.iterated_form, spec.k)
+      : net.register_form ? refute(*net.register_form, spec.k)
+                          : refute(net.circuit, spec.k);
+  JsonValue payload = JsonValue::object();
+  switch (result.status) {
+    case RefutationStatus::Refuted: payload.set("status", "refuted"); break;
+    case RefutationStatus::TooFewSurvivors:
+      payload.set("status", "no-claim");
+      break;
+    case RefutationStatus::NotInScope:
+      payload.set("status", "out-of-scope");
+      break;
+  }
+  payload.set("detail", result.detail);
+  if (result.status == RefutationStatus::Refuted) {
+    const Certificate& cert = *result.certificate;
+    payload.set("witness", witness_to_json(cert.witness));
+    // The colliding outputs: the network maps pi and pi' to outputs that
+    // differ exactly where m and m+1 sit, so at least one is unsorted.
+    payload.set("output_pi", wires_to_json(run_input(net, cert.witness.pi)));
+    payload.set("output_pi_prime",
+                wires_to_json(run_input(net, cert.witness.pi_prime)));
+    payload.set("survivors", wires_to_json(cert.survivors));
+    payload.set("certificate", to_text(cert));
+  }
+  return payload;
+}
+
+/// Rebuilds the witness from a cached refutation payload and replays it
+/// through the freshly parsed network. Anything malformed fails closed.
+bool revalidate_refutation(const ParsedNetwork& net,
+                           const JsonValue& payload) {
+  const JsonValue* status = payload.find("status");
+  if (status == nullptr || !status->is_string()) return false;
+  if (status->as_string() != "refuted") return true;  // nothing to replay
+  try {
+    const JsonValue* witness = payload.find("witness");
+    if (witness == nullptr || !witness->is_object()) return false;
+    const auto perm_of = [&](const char* key) {
+      const JsonValue* arr = witness->find(key);
+      if (arr == nullptr || !arr->is_array())
+        throw std::invalid_argument("missing witness permutation");
+      std::vector<wire_t> image;
+      image.reserve(arr->items().size());
+      for (const JsonValue& v : arr->items())
+        image.push_back(static_cast<wire_t>(v.as_uint()));
+      return Permutation(std::move(image));
+    };
+    Witness w;
+    w.pi = perm_of("pi");
+    w.pi_prime = perm_of("pi_prime");
+    const JsonValue* w0 = witness->find("w0");
+    const JsonValue* w1 = witness->find("w1");
+    const JsonValue* m = witness->find("m");
+    if (w0 == nullptr || w1 == nullptr || m == nullptr) return false;
+    w.w0 = static_cast<wire_t>(w0->as_uint());
+    w.w1 = static_cast<wire_t>(w1->as_uint());
+    w.m = static_cast<wire_t>(m->as_uint());
+    const WitnessCheck check =
+        net.iterated_form   ? check_witness(*net.iterated_form, w)
+        : net.register_form ? check_witness(*net.register_form, w)
+                            : check_witness(net.circuit, w);
+    return check.refutes_sorting();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
+                         Clock::time_point deadline) {
+  JobResult result;
+  result.seq = spec.seq;
+  result.id = spec.id;
+  result.kind = spec.kind;
+  try {
+    switch (spec.kind) {
+      case JobKind::Info:
+        result.payload = info_payload(net);
+        break;
+      case JobKind::Certify:
+        result.payload = net.register_form
+                             ? certify_payload(*net.register_form, deadline)
+                             : certify_payload(net.circuit, deadline);
+        break;
+      case JobKind::Refute:
+        result.payload = refute_payload(net, spec, deadline);
+        break;
+      case JobKind::CountSorted:
+        if (net.iterated_form) {
+          result.payload =
+              count_sorted_payload(*net.iterated_form, spec, deadline);
+        } else if (net.register_form) {
+          result.payload =
+              count_sorted_payload(*net.register_form, spec, deadline);
+        } else {
+          result.payload = count_sorted_payload(net.circuit, spec, deadline);
+        }
+        break;
+      case JobKind::Invalid:
+        result.error = spec.parse_error.empty() ? "invalid job"
+                                                : spec.parse_error;
+        return result;
+    }
+    result.ok = true;
+  } catch (const JobTimeout&) {
+    result.ok = false;
+    result.timed_out = true;
+    result.error = "timeout";
+    result.payload = JsonValue();
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+    result.payload = JsonValue();
+  }
+  return result;
+}
+
+}  // namespace
+
+CacheKey AnalysisEngine::cache_key(const JobSpec& spec,
+                                   const ParsedNetwork& net) {
+  CacheKey key;
+  key.network = net.iterated_form   ? fingerprint(*net.iterated_form)
+                : net.register_form ? fingerprint(*net.register_form)
+                                    : fingerprint(net.circuit);
+  FingerprintHasher params;
+  params.absorb(static_cast<std::uint64_t>(spec.kind));
+  if (spec.kind == JobKind::CountSorted) {
+    params.absorb(spec.trials);
+    params.absorb(spec.seed);
+  }
+  if (spec.kind == JobKind::Refute) params.absorb(spec.k);
+  key.params = params.finish().lo;
+  return key;
+}
+
+JobResult AnalysisEngine::execute(const JobSpec& spec,
+                                  Clock::time_point deadline) {
+  if (spec.kind == JobKind::Invalid) {
+    JobResult result;
+    result.seq = spec.seq;
+    result.id = spec.id;
+    result.kind = spec.kind;
+    result.error =
+        spec.parse_error.empty() ? "invalid job" : spec.parse_error;
+    return result;
+  }
+  try {
+    const ParsedNetwork net = parse_any_network(spec.network_text);
+    return execute_parsed(spec, net, deadline);
+  } catch (const std::exception& e) {
+    JobResult result;
+    result.seq = spec.seq;
+    result.id = spec.id;
+    result.kind = spec.kind;
+    result.error = std::string("network: ") + e.what();
+    return result;
+  }
+}
+
+AnalysisEngine::AnalysisEngine(EngineConfig config, ResultSink sink)
+    : config_(std::move(config)),
+      sink_(std::move(sink)),
+      cache_(config_.cache ? config_.cache : std::make_shared<ResultCache>()),
+      queue_(config_.queue_capacity),
+      pool_(config_.workers) {
+  active_workers_ = pool_.worker_count();
+  for (std::size_t w = 0; w < pool_.worker_count(); ++w)
+    pool_.submit([this] { worker_loop(); });
+}
+
+AnalysisEngine::~AnalysisEngine() { finish(); }
+
+bool AnalysisEngine::submit(JobSpec spec) {
+  if (finished_) return false;
+  spec.seq = next_seq_++;
+  telemetry_.kind(static_cast<std::size_t>(spec.kind))
+      .submitted.fetch_add(1, std::memory_order_relaxed);
+  return queue_.push(std::move(spec));
+}
+
+void AnalysisEngine::finish() {
+  if (finished_) return;
+  finished_ = true;
+  queue_.close();
+  std::unique_lock lock(join_mutex_);
+  workers_done_.wait(lock, [this] { return active_workers_ == 0; });
+  telemetry_.record_queue_high_water(queue_.high_water());
+}
+
+void AnalysisEngine::worker_loop() {
+  while (auto spec = queue_.pop()) process(std::move(*spec));
+  std::scoped_lock lock(join_mutex_);
+  if (--active_workers_ == 0) workers_done_.notify_all();
+}
+
+void AnalysisEngine::process(JobSpec spec) {
+  const auto start = Clock::now();
+  const std::uint64_t timeout_ms =
+      spec.timeout_ms != 0 ? spec.timeout_ms : config_.default_timeout_ms;
+  const Clock::time_point deadline =
+      timeout_ms == 0 ? Clock::time_point::max()
+                      : start + std::chrono::milliseconds(timeout_ms);
+
+  JobKindTelemetry& tk = telemetry_.kind(static_cast<std::size_t>(spec.kind));
+  std::optional<JobResult> result;
+
+  if (spec.kind != JobKind::Invalid) {
+    std::optional<ParsedNetwork> net;
+    try {
+      net = parse_any_network(spec.network_text);
+    } catch (const std::exception& e) {
+      JobResult r;
+      r.seq = spec.seq;
+      r.id = spec.id;
+      r.kind = spec.kind;
+      r.error = std::string("network: ") + e.what();
+      result = std::move(r);
+    }
+    if (net) {
+      std::optional<CacheKey> key;
+      if (config_.cache_enabled) {
+        key = cache_key(spec, *net);
+        if (std::optional<JsonValue> hit = cache_->lookup(*key)) {
+          bool valid = true;
+          if (spec.kind == JobKind::Refute) {
+            valid = revalidate_refutation(*net, *hit);
+            telemetry_.count_witness_revalidation(valid);
+          }
+          if (valid) {
+            JobResult r;
+            r.seq = spec.seq;
+            r.id = spec.id;
+            r.kind = spec.kind;
+            r.ok = true;
+            r.payload = std::move(*hit);
+            r.from_cache = true;
+            result = std::move(r);
+            tk.cache_hits.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            cache_->invalidate(*key);
+          }
+        }
+      }
+      if (!result) {
+        if (key) tk.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        result = execute_parsed(spec, *net, deadline);
+        if (result->ok && key) cache_->insert(*key, result->payload);
+      }
+    }
+  } else {
+    result = execute(spec, deadline);
+  }
+
+  if (result->ok) {
+    tk.completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tk.failed.fetch_add(1, std::memory_order_relaxed);
+    if (result->timed_out) tk.timed_out.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - start)
+                          .count();
+  tk.latency.record(static_cast<std::uint64_t>(micros));
+  emit(std::move(*result));
+}
+
+void AnalysisEngine::emit(JobResult result) {
+  std::scoped_lock lock(emit_mutex_);
+  pending_results_.emplace(result.seq, std::move(result));
+  for (auto it = pending_results_.find(next_emit_);
+       it != pending_results_.end();
+       it = pending_results_.find(next_emit_)) {
+    if (sink_) sink_(it->second);
+    pending_results_.erase(it);
+    ++next_emit_;
+  }
+}
+
+JsonValue AnalysisEngine::telemetry_to_json() const {
+  const JsonValue cache_stats = cache_->stats_to_json();
+  JsonValue out = telemetry_.to_json(&cache_stats);
+  out.set("queue_high_water",
+          static_cast<std::uint64_t>(queue_.high_water()));
+  out.set("queue_capacity", static_cast<std::uint64_t>(queue_.capacity()));
+  out.set("workers", static_cast<std::uint64_t>(pool_.worker_count()));
+  return out;
+}
+
+}  // namespace shufflebound

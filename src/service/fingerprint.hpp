@@ -1,0 +1,59 @@
+// Canonical network fingerprints: a stable 128-bit content hash over the
+// normalized program of a network, in any of the three models.
+//
+// The fingerprint is the result cache's key (src/service/cache.hpp):
+// sweeps over random network families resubmit the same network many
+// times, and the fingerprint makes "the same network" a constant-time
+// question. Two guarantees:
+//
+//  * Semantics-preserving normalization only. Gates within a level act on
+//    pairwise-disjoint wires and therefore commute, so they are hashed in
+//    sorted (lo, hi) order - a reordered level fingerprints identically.
+//    Nothing else is normalized: empty levels, exchange wiring and model
+//    structure all stay visible because job results (info, certify in
+//    register order, refute stage structure) depend on them.
+//  * Model separation. The three models are tagged before hashing;
+//    a register program never collides with its own flattened circuit.
+//
+// The hash is two independently seeded splitmix64-style lanes absorbed
+// word by word - content addressing, not cryptography. 128 bits makes
+// accidental collision negligible at any realistic sweep size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/comparator_network.hpp"
+#include "core/register_network.hpp"
+#include "networks/rdn.hpp"
+
+namespace shufflebound {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex characters, hi word first.
+  std::string to_hex() const;
+};
+
+/// Streaming two-lane hasher; absorb 64-bit words, then finish().
+class FingerprintHasher {
+ public:
+  void absorb(std::uint64_t word) noexcept;
+  void absorb_bytes(const void* data, std::size_t size) noexcept;
+  Fingerprint finish() const noexcept;
+
+ private:
+  std::uint64_t a_ = 0x6A09E667F3BCC908ull;  // distinct nothing-up-my-sleeve
+  std::uint64_t b_ = 0xBB67AE8584CAA73Bull;  // seeds per lane
+  std::uint64_t length_ = 0;
+};
+
+Fingerprint fingerprint(const ComparatorNetwork& net);
+Fingerprint fingerprint(const RegisterNetwork& net);
+Fingerprint fingerprint(const IteratedRdn& net);
+
+}  // namespace shufflebound

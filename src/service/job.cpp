@@ -1,0 +1,154 @@
+#include "service/job.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+#include "core/io.hpp"
+#include "networks/rdn_io.hpp"
+
+namespace shufflebound {
+
+const char* job_kind_name(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::Info: return "info";
+    case JobKind::Certify: return "certify";
+    case JobKind::Refute: return "refute";
+    case JobKind::CountSorted: return "count-sorted";
+    case JobKind::Invalid: return "invalid";
+  }
+  return "invalid";
+}
+
+const char* ParsedNetwork::model_name() const noexcept {
+  if (iterated_form) return "iterated";
+  if (register_form)
+    return register_form->is_shuffle_based() ? "register-shuffle" : "register";
+  return "circuit";
+}
+
+ParsedNetwork parse_any_network(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::string head = line.substr(first);
+    if (head.rfind("register", 0) == 0) {
+      RegisterNetwork reg = register_from_text(text);
+      ComparatorNetwork circuit = register_to_circuit(reg).circuit;
+      return ParsedNetwork{std::move(circuit), std::move(reg), std::nullopt};
+    }
+    if (head.rfind("iterated", 0) == 0) {
+      IteratedRdn rdn = iterated_from_text(text);
+      ComparatorNetwork circuit = rdn.flatten().circuit;
+      return ParsedNetwork{std::move(circuit), std::nullopt, std::move(rdn)};
+    }
+    return ParsedNetwork{circuit_from_text(text), std::nullopt, std::nullopt};
+  }
+  throw std::invalid_argument("empty network text");
+}
+
+namespace {
+
+std::optional<JobKind> kind_from_name(const std::string& name) {
+  if (name == "info") return JobKind::Info;
+  if (name == "certify") return JobKind::Certify;
+  if (name == "refute") return JobKind::Refute;
+  if (name == "count-sorted") return JobKind::CountSorted;
+  return std::nullopt;
+}
+
+JobSpec invalid_spec(std::string id, std::string why) {
+  JobSpec spec;
+  spec.kind = JobKind::Invalid;
+  spec.id = std::move(id);
+  spec.parse_error = std::move(why);
+  return spec;
+}
+
+}  // namespace
+
+JobSpec job_from_json_line(const std::string& line,
+                           std::uint64_t line_number) {
+  const std::string default_id = "line-" + std::to_string(line_number);
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    return invalid_spec(default_id, e.what());
+  }
+  if (!doc.is_object())
+    return invalid_spec(default_id, "job line must be a JSON object");
+
+  JobSpec spec;
+  spec.id = default_id;
+  if (const JsonValue* id = doc.find("id")) {
+    if (id->is_string()) spec.id = id->as_string();
+    else if (id->is_number()) spec.id = std::to_string(id->as_int());
+    else return invalid_spec(default_id, "'id' must be a string or number");
+  }
+
+  const JsonValue* op = doc.find("op");
+  if (op == nullptr || !op->is_string())
+    return invalid_spec(spec.id, "missing 'op' string");
+  const auto kind = kind_from_name(op->as_string());
+  if (!kind)
+    return invalid_spec(spec.id, "unknown op '" + op->as_string() + "'");
+  spec.kind = *kind;
+
+  const JsonValue* network = doc.find("network");
+  const JsonValue* network_file = doc.find("network_file");
+  if ((network != nullptr) == (network_file != nullptr))
+    return invalid_spec(spec.id,
+                        "exactly one of 'network' / 'network_file' required");
+  if (network != nullptr) {
+    if (!network->is_string())
+      return invalid_spec(spec.id, "'network' must be a string");
+    spec.network_text = network->as_string();
+  } else {
+    if (!network_file->is_string())
+      return invalid_spec(spec.id, "'network_file' must be a string");
+    std::ifstream in(network_file->as_string());
+    if (!in)
+      return invalid_spec(spec.id,
+                          "cannot open " + network_file->as_string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    spec.network_text = text.str();
+  }
+
+  const auto read_uint = [&](const char* key, auto& out) -> bool {
+    if (const JsonValue* v = doc.find(key)) {
+      if (!v->is_number()) return false;
+      out = static_cast<std::remove_reference_t<decltype(out)>>(v->as_uint());
+    }
+    return true;
+  };
+  if (!read_uint("trials", spec.trials))
+    return invalid_spec(spec.id, "'trials' must be a number");
+  if (!read_uint("seed", spec.seed))
+    return invalid_spec(spec.id, "'seed' must be a number");
+  if (!read_uint("k", spec.k))
+    return invalid_spec(spec.id, "'k' must be a number");
+  if (!read_uint("timeout_ms", spec.timeout_ms))
+    return invalid_spec(spec.id, "'timeout_ms' must be a number");
+  return spec;
+}
+
+std::string JobResult::to_json_line() const {
+  JsonValue out = JsonValue::object();
+  out.set("id", id);
+  out.set("op", job_kind_name(kind));
+  out.set("ok", ok);
+  if (ok) {
+    out.set("result", payload);
+  } else {
+    out.set("error", error);
+    if (timed_out) out.set("timeout", true);
+  }
+  return out.dump();
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,92 @@
+// Job specs and results for the analysis service - the JSONL wire format
+// of the `batch` subcommand and the in-memory contract of the engine.
+//
+// One job line is a JSON object:
+//
+//   {"id":"j7","op":"certify","network":"circuit 4\nlevel 0+1 2+3\nend\n"}
+//   {"op":"count-sorted","network_file":"net.txt","trials":4096,"seed":9}
+//   {"op":"refute","network_file":"shallow.txt","k":0}
+//   {"op":"info","network":"register 8\n...","timeout_ms":500}
+//
+// "network" carries the text format of core/io.hpp (or the iterated-RDN
+// format of networks/rdn_io.hpp) inline; "network_file" reads it from
+// disk at parse time. "id" is echoed into the result line (defaulting to
+// the 1-based input line number). Parsing never throws: a malformed line
+// becomes a JobKind::Invalid spec whose execution yields an error result,
+// so one bad line cannot take down a batch.
+//
+// Results are pure functions of the spec (given the op's own seed), and
+// their serialized form contains no timing or cache metadata - that is
+// what makes batch output byte-identical across worker counts and cache
+// states. Telemetry carries the operational signals instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/comparator_network.hpp"
+#include "core/register_network.hpp"
+#include "networks/rdn.hpp"
+#include "service/json.hpp"
+
+namespace shufflebound {
+
+enum class JobKind : std::uint8_t {
+  Info,
+  Certify,
+  Refute,
+  CountSorted,
+  Invalid,
+};
+
+/// Wire name of a job kind ("info", "certify", "refute", "count-sorted").
+const char* job_kind_name(JobKind kind) noexcept;
+
+struct JobSpec {
+  std::uint64_t seq = 0;      // submission index; assigned by the engine
+  std::string id;             // echoed into the result line
+  JobKind kind = JobKind::Invalid;
+  std::string network_text;   // io.hpp / rdn_io.hpp text
+  std::size_t trials = 4096;  // count-sorted
+  std::uint64_t seed = 1;     // count-sorted
+  std::uint32_t k = 0;        // refute chunk length; 0 = paper's lg n
+  std::uint64_t timeout_ms = 0;  // 0 = engine default / unlimited
+  std::string parse_error;    // Invalid only: why the line was rejected
+};
+
+/// Parses one JSONL job line (never throws; see header comment).
+/// `line_number` is 1-based and provides the default id "line-<k>".
+JobSpec job_from_json_line(const std::string& line, std::uint64_t line_number);
+
+/// A network parsed from text into whichever model the file declared,
+/// always carrying the flattened circuit form.
+struct ParsedNetwork {
+  ComparatorNetwork circuit;
+  std::optional<RegisterNetwork> register_form;
+  std::optional<IteratedRdn> iterated_form;
+
+  const char* model_name() const noexcept;
+};
+
+/// Parses any of the three text formats (dispatching on the leading
+/// keyword: "circuit", "register", "iterated"). Throws
+/// std::invalid_argument / std::runtime_error on malformed text.
+ParsedNetwork parse_any_network(const std::string& text);
+
+struct JobResult {
+  std::uint64_t seq = 0;
+  std::string id;
+  JobKind kind = JobKind::Invalid;
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;      // when !ok
+  JsonValue payload;      // kind-specific object when ok
+  bool from_cache = false;  // telemetry only; never serialized
+
+  /// The JSONL result line (no trailing newline). Deterministic: contains
+  /// id, op, ok and payload/error only.
+  std::string to_json_line() const;
+};
+
+}  // namespace shufflebound

@@ -1,18 +1,36 @@
-// A minimal work-sharing thread pool with a blocking parallel_for.
+// A task-queue thread pool with a blocking, exception-propagating
+// parallel_for.
 //
-// The simulator uses this for batch network evaluation (many independent
-// inputs through the same network). The pool is intentionally simple:
-// static chunking over an index range, one condition variable, no work
-// stealing - network evaluation is embarrassingly parallel with uniform
-// cost per item, so static partitioning is within noise of anything
-// fancier and is trivially correct.
+// Two entry points share one set of worker threads:
+//
+//  * submit(task): enqueue an independent unit of work. This is what the
+//    analysis job engine (src/service/engine.hpp) schedules its per-job
+//    workers on.
+//  * parallel_for(begin, end, body): static chunking of an index range
+//    over the workers plus the calling thread - the simulator's batch
+//    evaluation path. The first exception thrown by any part (on a worker
+//    or on the caller's own part) is captured and rethrown on the calling
+//    thread once every part has finished; the pool stays usable.
+//
+// Static partitioning is kept for parallel_for: network evaluation is
+// embarrassingly parallel with uniform cost per item, so anything fancier
+// is within noise and this is trivially correct.
+//
+// Caveat: parallel_for called from inside a submitted task can wait on
+// parts that are queued behind other long-running tasks. Components that
+// occupy workers with long-lived loops (the job engine) must use their
+// own pool instance for nested data parallelism.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace shufflebound {
@@ -34,6 +52,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Destruction drains the queue: every task submitted before the
+  /// destructor runs is executed, then the workers exit.
   ~ThreadPool() {
     {
       std::scoped_lock lock(mutex_);
@@ -45,9 +65,24 @@ class ThreadPool {
 
   std::size_t worker_count() const noexcept { return threads_.size(); }
 
+  /// Enqueues one task for execution on some worker thread. Tasks must not
+  /// throw (an escaping exception terminates the process); wrap fallible
+  /// work in its own try/catch. FIFO start order, no completion signal -
+  /// callers that need one should capture a latch/condition of their own.
+  void submit(std::function<void()> task) {
+    {
+      std::scoped_lock lock(mutex_);
+      tasks_.push_back(std::move(task));
+    }
+    wake_workers_.notify_one();
+  }
+
   /// Runs body(i) for every i in [begin, end), partitioned statically over
   /// the workers plus the calling thread. Blocks until all iterations have
-  /// completed. `body` must be safe to invoke concurrently.
+  /// completed. `body` must be safe to invoke concurrently. If any
+  /// iteration throws, the first exception (caller's part preferred) is
+  /// rethrown here after every part has stopped; remaining iterations of
+  /// other parts still run.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body) {
     if (begin >= end) return;
@@ -57,21 +92,39 @@ class ThreadPool {
       for (std::size_t i = begin; i < end; ++i) body(i);
       return;
     }
-    {
-      std::scoped_lock lock(mutex_);
-      job_body_ = &body;
-      job_begin_ = begin;
-      job_end_ = end;
-      job_parts_ = parts;
-      job_next_part_ = 1;  // part 0 is run by the caller
-      job_pending_parts_ = parts - 1;
-      ++job_epoch_;
+
+    struct ForState {
+      std::mutex mutex;
+      std::condition_variable done;
+      std::size_t pending = 0;
+      std::exception_ptr error;
+    };
+    auto state = std::make_shared<ForState>();
+    state->pending = parts - 1;
+    for (std::size_t part = 1; part < parts; ++part) {
+      submit([state, &body, begin, end, parts, part] {
+        std::exception_ptr error;
+        try {
+          run_part(body, begin, end, parts, part);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::scoped_lock lock(state->mutex);
+        if (error && !state->error) state->error = error;
+        if (--state->pending == 0) state->done.notify_all();
+      });
     }
-    wake_workers_.notify_all();
-    run_part(body, begin, end, parts, /*part=*/0);
-    std::unique_lock lock(mutex_);
-    job_done_.wait(lock, [this] { return job_pending_parts_ == 0; });
-    job_body_ = nullptr;
+
+    std::exception_ptr caller_error;
+    try {
+      run_part(body, begin, end, parts, /*part=*/0);
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+    std::unique_lock lock(state->mutex);
+    state->done.wait(lock, [&] { return state->pending == 0; });
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (state->error) std::rethrow_exception(state->error);
   }
 
  private:
@@ -86,43 +139,24 @@ class ThreadPool {
   }
 
   void worker_loop() {
-    std::uint64_t seen_epoch = 0;
     for (;;) {
-      const std::function<void(std::size_t)>* body = nullptr;
-      std::size_t begin = 0, end = 0, parts = 0, part = 0;
+      std::function<void()> task;
       {
         std::unique_lock lock(mutex_);
-        wake_workers_.wait(lock, [&] {
-          return shutting_down_ ||
-                 (job_epoch_ != seen_epoch && job_next_part_ < job_parts_);
-        });
-        if (shutting_down_) return;
-        body = job_body_;
-        begin = job_begin_;
-        end = job_end_;
-        parts = job_parts_;
-        part = job_next_part_++;
-        if (job_next_part_ >= job_parts_) seen_epoch = job_epoch_;
+        wake_workers_.wait(lock,
+                           [this] { return shutting_down_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // shutting down and fully drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
       }
-      run_part(*body, begin, end, parts, part);
-      {
-        std::scoped_lock lock(mutex_);
-        if (--job_pending_parts_ == 0) job_done_.notify_all();
-      }
+      task();
     }
   }
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable wake_workers_;
-  std::condition_variable job_done_;
-  const std::function<void(std::size_t)>* job_body_ = nullptr;
-  std::size_t job_begin_ = 0;
-  std::size_t job_end_ = 0;
-  std::size_t job_parts_ = 0;
-  std::size_t job_next_part_ = 0;
-  std::size_t job_pending_parts_ = 0;
-  std::uint64_t job_epoch_ = 0;
+  std::deque<std::function<void()>> tasks_;
   bool shutting_down_ = false;
 };
 

@@ -1,0 +1,396 @@
+// The analysis job engine: JSONL job parsing, the pure execute() path for
+// every job kind, in-order deterministic emission across worker counts,
+// cache behavior (hits, poisoned-entry re-validation), and timeouts.
+#include "service/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/sortedness.hpp"
+#include "core/io.hpp"
+#include "networks/batcher.hpp"
+#include "networks/shuffle.hpp"
+#include "service/json.hpp"
+#include "sim/batch.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+std::string sorter8_text() { return to_text(bitonic_sorting_network(8)); }
+
+std::string broken16_text() {
+  return to_text(drop_one_comparator(bitonic_sorting_network(16), 3));
+}
+
+std::string shallow_shuffle_text() {
+  Prng rng(7);
+  return to_text(random_shuffle_network(32, 8, rng));
+}
+
+JobSpec make_spec(JobKind kind, std::string network_text, std::string id = "j") {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.kind = kind;
+  spec.network_text = std::move(network_text);
+  return spec;
+}
+
+std::string job_line(const char* op, const std::string& network_text,
+                     const std::string& id) {
+  JsonValue o = JsonValue::object();
+  o.set("id", id);
+  o.set("op", op);
+  o.set("network", network_text);
+  return o.dump();
+}
+
+/// Feeds `lines` through a fresh engine and returns the emitted result
+/// lines plus the telemetry document.
+struct BatchRun {
+  std::vector<std::string> lines;
+  JsonValue telemetry;
+};
+
+BatchRun run_batch(const std::vector<std::string>& job_lines,
+                   EngineConfig config) {
+  BatchRun run;
+  {
+    AnalysisEngine engine(std::move(config), [&](const JobResult& result) {
+      run.lines.push_back(result.to_json_line());
+    });
+    std::uint64_t line_number = 0;
+    for (const auto& line : job_lines)
+      EXPECT_TRUE(engine.submit(job_from_json_line(line, ++line_number)));
+    engine.finish();
+    run.telemetry = engine.telemetry_to_json();
+  }
+  return run;
+}
+
+std::uint64_t telemetry_uint(const JsonValue& doc,
+                             std::initializer_list<const char*> path) {
+  const JsonValue* node = &doc;
+  for (const char* key : path) {
+    node = node->find(key);
+    if (node == nullptr) ADD_FAILURE() << "missing telemetry key " << key;
+    if (node == nullptr) return 0;
+  }
+  return node->as_uint();
+}
+
+// --- JSON layer ---------------------------------------------------------
+
+TEST(ServiceJson, RoundTripsPreservingOrderAndIntegers) {
+  const std::string text =
+      "{\"seed\":1234567890123456789,\"big\":18446744073709551615,"
+      "\"neg\":-7,\"frac\":0.5,\"s\":\"a\\n\\\"b\\\"\",\"arr\":[1,true,null],"
+      "\"nested\":{\"z\":1,\"a\":2}}";
+  const JsonValue doc = JsonValue::parse(text);
+  EXPECT_EQ(doc.dump(), text);  // byte-stable round trip, insertion order kept
+  EXPECT_EQ(doc.find("seed")->as_uint(), 1234567890123456789ull);
+  EXPECT_EQ(doc.find("big")->as_uint(), 18446744073709551615ull);
+  EXPECT_EQ(doc.find("neg")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(doc.find("frac")->as_double(), 0.5);
+}
+
+TEST(ServiceJson, RejectsMalformedAndTrailingGarbage) {
+  EXPECT_THROW(JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[1,2] trailing"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse(""), std::invalid_argument);
+}
+
+// --- Job line parsing ---------------------------------------------------
+
+TEST(ServiceJob, ParsesLineWithDefaults) {
+  const JobSpec spec =
+      job_from_json_line(job_line("count-sorted", sorter8_text(), "mc"), 1);
+  EXPECT_EQ(spec.kind, JobKind::CountSorted);
+  EXPECT_EQ(spec.id, "mc");
+  EXPECT_EQ(spec.trials, 4096u);
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.timeout_ms, 0u);
+}
+
+TEST(ServiceJob, DefaultsIdToLineNumber) {
+  JsonValue o = JsonValue::object();
+  o.set("op", "info");
+  o.set("network", sorter8_text());
+  EXPECT_EQ(job_from_json_line(o.dump(), 17).id, "line-17");
+}
+
+TEST(ServiceJob, MalformedLinesBecomeInvalidSpecsNotThrows) {
+  const JobSpec garbage = job_from_json_line("not json at all", 1);
+  EXPECT_EQ(garbage.kind, JobKind::Invalid);
+  EXPECT_FALSE(garbage.parse_error.empty());
+
+  const JobSpec unknown_op = job_from_json_line(
+      "{\"op\":\"frobnicate\",\"network\":\"circuit 2\\nend\\n\"}", 2);
+  EXPECT_EQ(unknown_op.kind, JobKind::Invalid);
+
+  const JobSpec no_network = job_from_json_line("{\"op\":\"info\"}", 3);
+  EXPECT_EQ(no_network.kind, JobKind::Invalid);
+}
+
+// --- Pure execution per kind -------------------------------------------
+
+TEST(ServiceEngine, ExecuteInfoReportsModelAndShape) {
+  const JobResult result =
+      AnalysisEngine::execute(make_spec(JobKind::Info, sorter8_text()));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.payload.find("model")->as_string(), "circuit");
+  EXPECT_EQ(result.payload.find("width")->as_uint(), 8u);
+  EXPECT_GT(result.payload.find("depth")->as_uint(), 0u);
+}
+
+TEST(ServiceEngine, ExecuteCertifySorterAndNonSorter) {
+  const JobResult good =
+      AnalysisEngine::execute(make_spec(JobKind::Certify, sorter8_text()));
+  ASSERT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.payload.find("verdict")->as_string(), "sorting");
+
+  const JobResult bad =
+      AnalysisEngine::execute(make_spec(JobKind::Certify, broken16_text()));
+  ASSERT_TRUE(bad.ok) << bad.error;
+  EXPECT_EQ(bad.payload.find("verdict")->as_string(), "not-sorting");
+  EXPECT_NE(bad.payload.find("failing_vector"), nullptr);
+}
+
+TEST(ServiceEngine, ExecuteRefuteReturnsCheckableWitness) {
+  const JobResult result = AnalysisEngine::execute(
+      make_spec(JobKind::Refute, shallow_shuffle_text()));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.payload.find("status")->as_string(), "refuted");
+
+  const JsonValue* witness = result.payload.find("witness");
+  ASSERT_NE(witness, nullptr);
+  ASSERT_NE(witness->find("pi"), nullptr);
+  ASSERT_NE(witness->find("pi_prime"), nullptr);
+  EXPECT_NE(*witness->find("pi"), *witness->find("pi_prime"));
+
+  // Corollary 4.1.1: the outputs for pi and pi' differ exactly where the
+  // values m and m+1 landed, so the network cannot sort both inputs.
+  const JsonValue* out_pi = result.payload.find("output_pi");
+  const JsonValue* out_pp = result.payload.find("output_pi_prime");
+  ASSERT_NE(out_pi, nullptr);
+  ASSERT_NE(out_pp, nullptr);
+  const auto vec_of = [](const JsonValue& arr) {
+    std::vector<wire_t> v;
+    for (const JsonValue& x : arr.items())
+      v.push_back(static_cast<wire_t>(x.as_uint()));
+    return v;
+  };
+  const std::vector<wire_t> a = vec_of(*out_pi);
+  const std::vector<wire_t> b = vec_of(*out_pp);
+  ASSERT_EQ(a.size(), b.size());
+  const auto m = static_cast<wire_t>(witness->find("m")->as_uint());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    ++diffs;
+    EXPECT_TRUE((a[i] == m && b[i] == m + 1) || (a[i] == m + 1 && b[i] == m));
+  }
+  EXPECT_EQ(diffs, 2u);
+  EXPECT_TRUE(!is_sorted_output(a) || !is_sorted_output(b));
+
+  const JsonValue* certificate = result.payload.find("certificate");
+  ASSERT_NE(certificate, nullptr);
+  EXPECT_NE(certificate->as_string().find("nonsorting-certificate"),
+            std::string::npos);
+}
+
+TEST(ServiceEngine, ExecuteCountSortedMatchesBatchEvaluator) {
+  JobSpec spec = make_spec(JobKind::CountSorted, broken16_text());
+  spec.trials = 500;
+  spec.seed = 99;
+  const JobResult result = AnalysisEngine::execute(spec);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  BatchEvaluator evaluator(1);
+  const auto expected = evaluator.count_sorted_outputs(
+      drop_one_comparator(bitonic_sorting_network(16), 3), 500, 99);
+  EXPECT_EQ(result.payload.find("sorted")->as_uint(), expected);
+  EXPECT_EQ(result.payload.find("trials")->as_uint(), 500u);
+}
+
+TEST(ServiceEngine, ExecuteExpiredDeadlineTimesOutWithoutResult) {
+  JobSpec spec = make_spec(JobKind::CountSorted, broken16_text());
+  spec.trials = 50'000'000;  // would take far too long without the deadline
+  const JobResult result =
+      AnalysisEngine::execute(spec, std::chrono::steady_clock::now());
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.error, "timeout");
+  EXPECT_NE(result.to_json_line().find("\"timeout\":true"), std::string::npos);
+}
+
+TEST(ServiceEngine, ExecuteRejectsMalformedNetworkText) {
+  const JobResult result =
+      AnalysisEngine::execute(make_spec(JobKind::Info, "circuit nonsense\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+// --- Engine: ordering, determinism, cache ------------------------------
+
+std::vector<std::string> mixed_job_lines() {
+  std::vector<std::string> lines;
+  const std::string sorter = sorter8_text();
+  const std::string broken = broken16_text();
+  const std::string shallow = shallow_shuffle_text();
+  for (int round = 0; round < 2; ++round) {  // duplicates exercise the cache
+    lines.push_back(job_line("info", sorter, "i" + std::to_string(round)));
+    lines.push_back(job_line("certify", sorter, "c" + std::to_string(round)));
+    lines.push_back(job_line("certify", broken, "b" + std::to_string(round)));
+    lines.push_back(job_line("refute", shallow, "r" + std::to_string(round)));
+    JsonValue mc = JsonValue::object();
+    mc.set("id", "m" + std::to_string(round));
+    mc.set("op", "count-sorted");
+    mc.set("network", broken);
+    mc.set("trials", 300);
+    mc.set("seed", 5);
+    lines.push_back(mc.dump());
+  }
+  lines.push_back("this line is not json");
+  return lines;
+}
+
+TEST(ServiceEngine, EmitsInSubmissionOrder) {
+  const auto lines = mixed_job_lines();
+  EngineConfig config;
+  config.workers = 4;
+  const BatchRun run = run_batch(lines, config);
+  ASSERT_EQ(run.lines.size(), lines.size());
+  // Every result echoes its line's id, in input order.
+  for (std::size_t i = 0; i < lines.size() - 1; ++i) {
+    const JsonValue line = JsonValue::parse(run.lines[i]);
+    const JsonValue job = JsonValue::parse(lines[i]);
+    EXPECT_EQ(line.find("id")->as_string(), job.find("id")->as_string());
+  }
+  // The malformed trailer produced an error result, not a crash.
+  const JsonValue last = JsonValue::parse(run.lines.back());
+  EXPECT_FALSE(last.find("ok")->as_bool());
+}
+
+TEST(ServiceEngine, OutputIsByteIdenticalAcrossWorkerCountsAndCacheStates) {
+  const auto lines = mixed_job_lines();
+  EngineConfig one_worker;
+  one_worker.workers = 1;
+  EngineConfig two_workers;
+  two_workers.workers = 2;
+  two_workers.queue_capacity = 3;  // exercise backpressure too
+  EngineConfig eight_no_cache;
+  eight_no_cache.workers = 8;
+  eight_no_cache.cache_enabled = false;
+
+  const auto baseline = run_batch(lines, one_worker).lines;
+  EXPECT_EQ(run_batch(lines, two_workers).lines, baseline);
+  EXPECT_EQ(run_batch(lines, eight_no_cache).lines, baseline);
+}
+
+TEST(ServiceEngine, DuplicateJobsHitTheCache) {
+  const BatchRun run = run_batch(mixed_job_lines(), EngineConfig{});
+  std::uint64_t hits = 0;
+  for (const char* kind : {"info", "certify", "refute", "count-sorted"})
+    hits += telemetry_uint(run.telemetry, {"jobs", kind, "cache_hits"});
+  // Round two of the mixed stream repeats all 5 jobs; refute hits
+  // additionally pass re-validation.
+  EXPECT_EQ(hits, 5u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"witness_revalidations"}), 1u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"witness_revalidation_failures"}), 0u);
+  EXPECT_GE(telemetry_uint(run.telemetry, {"cache", "hits"}), 5u);
+}
+
+TEST(ServiceEngine, PoisonedCachedRefutationIsRevalidatedAndRecomputed) {
+  const std::string shallow = shallow_shuffle_text();
+  const std::vector<std::string> lines = {job_line("refute", shallow, "r")};
+
+  // What the honest engine says.
+  const auto honest = run_batch(lines, EngineConfig{}).lines;
+
+  // Poison a shared cache: a "refuted" payload with no witness to replay.
+  auto cache = std::make_shared<ResultCache>();
+  JobSpec spec = job_from_json_line(lines[0], 1);
+  const CacheKey key =
+      AnalysisEngine::cache_key(spec, parse_any_network(shallow));
+  JsonValue bogus = JsonValue::object();
+  bogus.set("status", "refuted");
+  cache->insert(key, bogus);
+
+  EngineConfig config;
+  config.cache = cache;
+  const BatchRun run = run_batch(lines, config);
+
+  // The poisoned entry fails re-validation, is invalidated, and the job is
+  // recomputed - so the output still matches the honest run byte for byte.
+  EXPECT_EQ(run.lines, honest);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"witness_revalidations"}), 1u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"witness_revalidation_failures"}),
+            1u);
+  EXPECT_GE(telemetry_uint(run.telemetry, {"cache", "invalidations"}), 1u);
+  // The recomputed (valid) payload replaced the poisoned one.
+  const auto entry = cache->lookup(key);
+  ASSERT_TRUE(entry.has_value());
+  ASSERT_NE(entry->find("witness"), nullptr);
+}
+
+TEST(ServiceEngine, SharedCacheWarmsASecondEngine) {
+  const auto lines = mixed_job_lines();
+  auto cache = std::make_shared<ResultCache>();
+  EngineConfig config;
+  config.cache = cache;
+
+  const auto cold = run_batch(lines, config);
+  const auto warm = run_batch(lines, config);
+  EXPECT_EQ(warm.lines, cold.lines);
+  std::uint64_t warm_misses = 0;
+  for (const char* kind : {"info", "certify", "refute", "count-sorted"})
+    warm_misses += telemetry_uint(warm.telemetry, {"jobs", kind, "cache_misses"});
+  EXPECT_EQ(warm_misses, 0u);  // every well-formed job served from cache
+}
+
+TEST(ServiceEngine, PerJobTimeoutProducesErrorResultAndTelemetry) {
+  JsonValue o = JsonValue::object();
+  o.set("id", "slow");
+  o.set("op", "count-sorted");
+  o.set("network", broken16_text());
+  o.set("trials", 50'000'000);
+  o.set("seed", 1);
+  o.set("timeout_ms", 1);
+  const BatchRun run = run_batch({o.dump()}, EngineConfig{});
+  ASSERT_EQ(run.lines.size(), 1u);
+  const JsonValue line = JsonValue::parse(run.lines[0]);
+  EXPECT_FALSE(line.find("ok")->as_bool());
+  EXPECT_EQ(line.find("error")->as_string(), "timeout");
+  EXPECT_TRUE(line.find("timeout")->as_bool());
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "count-sorted", "timed_out"}),
+            1u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"cache", "entries"}), 0u);
+}
+
+TEST(ServiceEngine, SubmitAfterFinishIsRefused) {
+  AnalysisEngine engine(EngineConfig{}, [](const JobResult&) {});
+  engine.finish();
+  EXPECT_FALSE(engine.submit(make_spec(JobKind::Info, sorter8_text())));
+  engine.finish();  // idempotent
+}
+
+TEST(ServiceEngine, TelemetryCountsSubmissionsPerKind) {
+  const BatchRun run = run_batch(mixed_job_lines(), EngineConfig{});
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "info", "submitted"}), 2u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "certify", "submitted"}), 4u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "refute", "submitted"}), 2u);
+  EXPECT_EQ(
+      telemetry_uint(run.telemetry, {"jobs", "count-sorted", "submitted"}), 2u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "invalid", "submitted"}), 1u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "invalid", "failed"}), 1u);
+}
+
+}  // namespace
+}  // namespace shufflebound

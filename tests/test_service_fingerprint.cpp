@@ -1,0 +1,164 @@
+// Canonical network fingerprints: stability, the within-level gate-order
+// normalization, sensitivity to real program changes, and model
+// separation (a register program must not collide with its own circuit).
+#include "service/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/io.hpp"
+#include "networks/batcher.hpp"
+#include "networks/rdn.hpp"
+#include "networks/rdn_io.hpp"
+#include "networks/shuffle.hpp"
+#include "util/prng.hpp"
+
+namespace shufflebound {
+namespace {
+
+ComparatorNetwork two_gate_circuit(GateOp first, GateOp second,
+                                   bool swapped_order = false) {
+  ComparatorNetwork net(4);
+  Gate a(0, 1, first);
+  Gate b(2, 3, second);
+  if (swapped_order)
+    net.add_level({b, a});
+  else
+    net.add_level({a, b});
+  return net;
+}
+
+TEST(Fingerprint, HexIs32LowercaseChars) {
+  const auto hex = fingerprint(bitonic_sorting_network(8)).to_hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                                 !std::isupper(static_cast<unsigned char>(c)));
+}
+
+TEST(Fingerprint, StableAcrossCalls) {
+  const auto net = bitonic_sorting_network(16);
+  EXPECT_EQ(fingerprint(net), fingerprint(net));
+  EXPECT_EQ(fingerprint(net).to_hex(), fingerprint(net).to_hex());
+}
+
+TEST(Fingerprint, GateOrderWithinLevelIsNormalized) {
+  // Gates in one level act on disjoint wires and commute; their listed
+  // order must not change the fingerprint.
+  const auto forward = two_gate_circuit(GateOp::CompareAsc, GateOp::CompareDesc);
+  const auto reversed =
+      two_gate_circuit(GateOp::CompareAsc, GateOp::CompareDesc, true);
+  EXPECT_EQ(fingerprint(forward), fingerprint(reversed));
+}
+
+TEST(Fingerprint, DistinguishesGateOps) {
+  const auto asc = two_gate_circuit(GateOp::CompareAsc, GateOp::CompareAsc);
+  const auto desc = two_gate_circuit(GateOp::CompareDesc, GateOp::CompareAsc);
+  const auto exch = two_gate_circuit(GateOp::Exchange, GateOp::CompareAsc);
+  EXPECT_NE(fingerprint(asc), fingerprint(desc));
+  EXPECT_NE(fingerprint(asc), fingerprint(exch));
+  EXPECT_NE(fingerprint(desc), fingerprint(exch));
+}
+
+TEST(Fingerprint, DistinguishesWiring) {
+  ComparatorNetwork a(4);
+  a.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  ComparatorNetwork b(4);
+  b.add_level({Gate(0, 2, GateOp::CompareAsc)});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, DistinguishesWidth) {
+  ComparatorNetwork narrow(2);
+  narrow.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  ComparatorNetwork wide(4);
+  wide.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  EXPECT_NE(fingerprint(narrow), fingerprint(wide));
+}
+
+TEST(Fingerprint, EmptyLevelsStayVisible) {
+  // Depth is an analyzed property (info reports it), so an empty level is
+  // a different program, not a normalization target.
+  ComparatorNetwork plain(4);
+  plain.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  ComparatorNetwork padded(4);
+  padded.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  padded.add_level({});
+  EXPECT_NE(fingerprint(plain), fingerprint(padded));
+}
+
+TEST(Fingerprint, LevelSplitStaysVisible) {
+  ComparatorNetwork one_level(4);
+  one_level.add_level(
+      {Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::CompareAsc)});
+  ComparatorNetwork two_levels(4);
+  two_levels.add_level({Gate(0, 1, GateOp::CompareAsc)});
+  two_levels.add_level({Gate(2, 3, GateOp::CompareAsc)});
+  EXPECT_NE(fingerprint(one_level), fingerprint(two_levels));
+}
+
+TEST(Fingerprint, SurvivesTextRoundTrip) {
+  const auto circuit = bitonic_sorting_network(16);
+  EXPECT_EQ(fingerprint(circuit), fingerprint(circuit_from_text(to_text(circuit))));
+
+  const auto reg = bitonic_on_shuffle(16);
+  EXPECT_EQ(fingerprint(reg), fingerprint(register_from_text(to_text(reg))));
+}
+
+TEST(Fingerprint, ModelsDoNotCollide) {
+  // A register program and its own flattened circuit describe the same
+  // function but are different jobs (certify reports register placement,
+  // refute needs the stage structure), so they must key separately.
+  const RegisterNetwork reg = bitonic_on_shuffle(16);
+  const auto flat = register_to_circuit(reg);
+  EXPECT_NE(fingerprint(reg), fingerprint(flat.circuit));
+
+  Prng rng(71);
+  const RegisterNetwork shallow = random_shuffle_network(16, 4, rng);
+  const IteratedRdn iterated = shuffle_to_iterated_rdn(shallow);
+  EXPECT_NE(fingerprint(iterated), fingerprint(iterated.flatten().circuit));
+  EXPECT_NE(fingerprint(iterated), fingerprint(shallow));
+}
+
+TEST(Fingerprint, IteratedSurvivesTextRoundTrip) {
+  Prng rng(72);
+  const IteratedRdn net =
+      shuffle_to_iterated_rdn(random_shuffle_network(16, 8, rng));
+  EXPECT_EQ(fingerprint(net), fingerprint(iterated_from_text(to_text(net))));
+}
+
+TEST(Fingerprint, DistinctNetworksRarelyCollide) {
+  // Smoke-level collision check over a family of random programs.
+  Prng rng(73);
+  std::vector<std::string> seen;
+  for (int trial = 0; trial < 50; ++trial) {
+    RegisterNetwork net = random_shuffle_network(16, 1 + trial % 7, rng);
+    seen.push_back(fingerprint(net).to_hex());
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(FingerprintHasher, OrderAndContentSensitive) {
+  FingerprintHasher ab;
+  ab.absorb(1);
+  ab.absorb(2);
+  FingerprintHasher ba;
+  ba.absorb(2);
+  ba.absorb(1);
+  EXPECT_NE(ab.finish(), ba.finish());
+
+  FingerprintHasher a;
+  a.absorb(1);
+  FingerprintHasher a0;
+  a0.absorb(1);
+  a0.absorb(0);
+  EXPECT_NE(a.finish(), a0.finish());  // length is part of the state
+  EXPECT_NE(FingerprintHasher().finish(), a.finish());
+}
+
+}  // namespace
+}  // namespace shufflebound

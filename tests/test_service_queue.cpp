@@ -1,0 +1,137 @@
+// BoundedQueue: FIFO order, backpressure on push, close semantics
+// (drain-then-nullopt), and the high-water telemetry mark.
+#include "service/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace shufflebound {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  ASSERT_TRUE(q.push(7));
+  EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> q(4);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] { got = q.pop().value_or(-2); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(got.load(), -1);
+  q.push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BoundedQueue, PushBlocksWhenFull) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(third_pushed.load());  // backpressure: still blocked
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed: new items are refused
+  EXPECT_EQ(q.pop(), 1);    // ...but pending ones still drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays terminal
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result = full.push(2); });
+
+  BoundedQueue<int> empty(1);
+  std::atomic<bool> pop_empty{false};
+  std::thread consumer([&] { pop_empty = !empty.pop().has_value(); });
+
+  std::this_thread::sleep_for(20ms);
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(push_result.load());
+  EXPECT_TRUE(pop_empty.load());
+}
+
+TEST(BoundedQueue, HighWaterTracksMaxDepth) {
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.high_water(), 0u);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.high_water(), 3u);
+  q.pop();
+  q.pop();
+  q.push(4);
+  EXPECT_EQ(q.high_water(), 3u);  // high water does not recede
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(BoundedQueue, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q(4);  // small capacity: exercise the blocking paths
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.pop()) ++seen[static_cast<std::size_t>(*item)];
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+  EXPECT_GE(q.high_water(), 1u);
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+}  // namespace
+}  // namespace shufflebound

@@ -1,6 +1,8 @@
 // Simulators: threaded batch evaluation and bit-parallel 0-1 sweeps.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "analysis/sortedness.hpp"
 #include "networks/batcher.hpp"
 #include "networks/shuffle.hpp"
@@ -119,11 +121,43 @@ TEST(ZeroOne, ZeroOnePrincipleAgreesWithPermutationTesting) {
 }
 
 TEST(Batch, CountSortedIsDeterministicAcrossPoolSizes) {
+  // Per-trial generators make the count a function of (trials, seed) only;
+  // 1, 2 and 8 workers must agree exactly, in both models.
   const auto net = drop_one_comparator(bitonic_sorting_network(16), 3);
+  Prng rng(4006);
+  const RegisterNetwork reg = random_shuffle_network(16, 6, rng);
   BatchEvaluator one(1);
-  BatchEvaluator many(8);
-  EXPECT_EQ(one.count_sorted_outputs(net, 500, 99),
-            many.count_sorted_outputs(net, 500, 99));
+  BatchEvaluator two(2);
+  BatchEvaluator eight(8);
+  const auto baseline = one.count_sorted_outputs(net, 500, 99);
+  EXPECT_EQ(two.count_sorted_outputs(net, 500, 99), baseline);
+  EXPECT_EQ(eight.count_sorted_outputs(net, 500, 99), baseline);
+  const auto reg_baseline = one.count_sorted_outputs(reg, 500, 7);
+  EXPECT_EQ(two.count_sorted_outputs(reg, 500, 7), reg_baseline);
+  EXPECT_EQ(eight.count_sorted_outputs(reg, 500, 7), reg_baseline);
+}
+
+TEST(Batch, ZeroTrialsIsZeroEverywhere) {
+  BatchEvaluator evaluator(4);
+  EXPECT_EQ(evaluator.count_sorted_outputs(bitonic_sorting_network(8), 0, 1),
+            0u);
+  EXPECT_EQ(evaluator.count_trials(0, 1,
+                                   [](Prng&, std::size_t) { return true; }),
+            0u);
+}
+
+TEST(Batch, ExceptionInTrialPropagatesAndEvaluatorStaysUsable) {
+  BatchEvaluator evaluator(4);
+  EXPECT_THROW(evaluator.count_trials(500, 1,
+                                      [](Prng&, std::size_t index) -> bool {
+                                        if (index == 123)
+                                          throw std::runtime_error("trial");
+                                        return true;
+                                      }),
+               std::runtime_error);
+  EXPECT_EQ(evaluator.count_trials(
+                100, 1, [](Prng&, std::size_t) { return true; }),
+            100u);
 }
 
 TEST(Batch, SorterSortsEverything) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace shufflebound {
@@ -62,6 +63,63 @@ TEST(ThreadPool, SingleWorkerPool) {
 TEST(ThreadPool, WorkerCountDefaultsNonzero) {
   ThreadPool pool;
   EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPartPropagates) {
+  ThreadPool pool(4);
+  // With 5 parts over [0, 1000), index 999 lands on the last worker's
+  // part, never the caller's.
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [&](std::size_t i) {
+                                   if (i == 999) throw std::runtime_error("worker");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionFromCallerPartPropagates) {
+  ThreadPool pool(4);
+  // Index 0 is always in the calling thread's own part.
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::invalid_argument("caller");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, OtherPartsFinishAndPoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(0, 1000, [&](std::size_t i) {
+      ++ran;
+      if (i == 999) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ran.load(), 1000);  // no part was abandoned mid-range
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) pool.submit([&] { ++ran; });
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, SubmitStartsTasksInFifoOrderOnOneWorker) {
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&order, i] { order.push_back(i); });
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
 TEST(ThreadPool, LargeRangeSmallPool) {

@@ -17,6 +17,8 @@
 //   search <n> <max_depth>            minimal-depth shuffle sorter search
 //   prune <file> <tests> <seed>       prune comparators vs random 0/1 tests
 //   route <n> <seed>                  Benes-route a random permutation
+//   batch [jobs.jsonl|-] [flags]      concurrent JSONL job stream through
+//                                     the analysis engine (docs/service.md)
 //
 // Files holding register networks are flattened where a circuit is
 // required; 'refute' requires a shuffle-based register network (the class
@@ -42,6 +44,7 @@
 #include "networks/rdn_io.hpp"
 #include "networks/shuffle.hpp"
 #include "routing/benes.hpp"
+#include "service/engine.hpp"
 #include "sim/bitparallel.hpp"
 #include "util/bits.hpp"
 #include "util/prng.hpp"
@@ -58,39 +61,16 @@ std::string read_file(const std::string& path) {
   return out.str();
 }
 
-bool starts_with(const std::string& text, const char* prefix) {
-  return text.rfind(prefix, 0) == 0;
-}
-
-/// Loads either model; returns the circuit form plus (optionally) the
-/// register original for commands that care.
-struct LoadedNetwork {
-  ComparatorNetwork circuit;
-  std::optional<RegisterNetwork> register_form;
-  std::optional<IteratedRdn> iterated_form;
-};
+/// The circuit form plus (optionally) the original model for commands
+/// that care; parsing itself is shared with the batch service.
+using LoadedNetwork = ParsedNetwork;
 
 LoadedNetwork load_network(const std::string& path) {
-  const std::string text = read_file(path);
-  // Skip leading comments/blank lines to find the keyword.
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    if (starts_with(line.substr(first), "register")) {
-      RegisterNetwork reg = register_from_text(text);
-      ComparatorNetwork circuit = register_to_circuit(reg).circuit;
-      return LoadedNetwork{std::move(circuit), std::move(reg), std::nullopt};
-    }
-    if (starts_with(line.substr(first), "iterated")) {
-      IteratedRdn rdn = iterated_from_text(text);
-      ComparatorNetwork circuit = rdn.flatten().circuit;
-      return LoadedNetwork{std::move(circuit), std::nullopt, std::move(rdn)};
-    }
-    return LoadedNetwork{circuit_from_text(text), std::nullopt, std::nullopt};
+  try {
+    return parse_any_network(read_file(path));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
   }
-  throw std::runtime_error(path + ": empty network file");
 }
 
 int cmd_make(int argc, char** argv) {
@@ -308,6 +288,110 @@ int cmd_prune(const std::string& path, std::size_t test_count,
   return 0;
 }
 
+// batch: stream JSONL jobs through the analysis engine. One result line
+// per input line, in input order; malformed lines become per-line error
+// results, never batch failures. Exit 0 = every job ok, 1 = some job
+// failed (error/timeout/malformed), 2 = usage or I/O trouble.
+int cmd_batch(int argc, char** argv) {
+  std::string input_path = "-";
+  std::string telemetry_path;
+  EngineConfig config;
+  bool input_set = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "batch: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    // Numeric flag values must be nonnegative decimal; atoi's silent 0 on
+    // garbage would otherwise turn a typo into "hardware concurrency".
+    const auto next_number = [&](std::uint64_t& out) {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      char* end = nullptr;
+      out = std::strtoull(v, &end, 10);
+      if (*end != '\0') {
+        std::fprintf(stderr, "batch: %s needs a nonnegative integer, got '%s'\n",
+                     arg.c_str(), v);
+        return false;
+      }
+      return true;
+    };
+    std::uint64_t value = 0;
+    if (arg == "--workers") {
+      if (!next_number(value)) return 2;
+      config.workers = static_cast<std::size_t>(value);
+    } else if (arg == "--queue") {
+      if (!next_number(value)) return 2;
+      config.queue_capacity = static_cast<std::size_t>(value);
+    } else if (arg == "--timeout-ms") {
+      if (!next_number(value)) return 2;
+      config.default_timeout_ms = value;
+    } else if (arg == "--no-cache") {
+      config.cache_enabled = false;
+    } else if (arg == "--telemetry") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      telemetry_path = v;
+    } else if (!input_set && (arg == "-" || arg[0] != '-')) {
+      input_path = arg;
+      input_set = true;
+    } else {
+      std::fprintf(stderr, "batch: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  if (input_path != "-") {
+    file_in.open(input_path);
+    if (!file_in) {
+      std::fprintf(stderr, "batch: cannot open %s\n", input_path.c_str());
+      return 2;
+    }
+    in = &file_in;
+  }
+
+  bool any_failed = false;
+  {
+    AnalysisEngine engine(config, [&any_failed](const JobResult& result) {
+      const std::string line = result.to_json_line();
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      std::fputc('\n', stdout);
+      if (!result.ok) any_failed = true;
+    });
+    std::string line;
+    std::uint64_t line_number = 0;
+    while (std::getline(*in, line)) {
+      ++line_number;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      engine.submit(job_from_json_line(line, line_number));
+    }
+    engine.finish();
+    std::fflush(stdout);
+
+    if (!telemetry_path.empty()) {
+      const std::string doc = engine.telemetry_to_json().dump();
+      if (telemetry_path == "-") {
+        std::fprintf(stderr, "%s\n", doc.c_str());
+      } else {
+        std::ofstream out(telemetry_path);
+        if (!out) {
+          std::fprintf(stderr, "batch: cannot write %s\n",
+                       telemetry_path.c_str());
+          return 2;
+        }
+        out << doc << "\n";
+      }
+    }
+  }
+  return any_failed ? 1 : 0;
+}
+
 int cmd_route(wire_t n, std::uint64_t seed) {
   Prng rng(seed);
   const Permutation target = random_permutation(n, rng);
@@ -323,7 +407,7 @@ int cmd_route(wire_t n, std::uint64_t seed) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route ...\n",
+                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch ...\n",
                  argv[0]);
     return 2;
   }
@@ -346,6 +430,7 @@ int main(int argc, char** argv) {
     if (cmd == "route" && argc >= 4)
       return cmd_route(static_cast<wire_t>(std::atoi(argv[2])),
                        static_cast<std::uint64_t>(std::atoll(argv[3])));
+    if (cmd == "batch") return cmd_batch(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
