@@ -110,7 +110,8 @@ void print_table() {
     const StreamStats cold = run_stream(jobs, workers, cache);
     const StreamStats warm = run_stream(jobs, workers, cache);
     std::printf("%8zu | %12.0f %12.0f | %11.1fx %10llu\n", workers,
-                jobs.size() / cold.seconds, jobs.size() / warm.seconds,
+                static_cast<double>(jobs.size()) / cold.seconds,
+                static_cast<double>(jobs.size()) / warm.seconds,
                 cold.seconds / warm.seconds,
                 static_cast<unsigned long long>(warm.cache_hits));
   }

@@ -148,10 +148,17 @@ ComparatorNetwork circuit_from_text(const std::string& text) {
       if (op_pos == std::string::npos || op_pos == 0 ||
           op_pos + 1 >= gate_text.size())
         fail(line_no, "malformed gate '" + gate_text + "'");
-      const auto a = std::stoul(gate_text.substr(0, op_pos));
-      const auto b = std::stoul(gate_text.substr(op_pos + 1));
-      level.gates.emplace_back(static_cast<wire_t>(a), static_cast<wire_t>(b),
-                               gate_op_from_char(gate_text[op_pos], line_no));
+      // Gate construction itself rejects self-loops, and stoul rejects
+      // non-numeric / oversized endpoints; both must surface with the
+      // offending line, like every other parse error.
+      try {
+        const auto a = std::stoul(gate_text.substr(0, op_pos));
+        const auto b = std::stoul(gate_text.substr(op_pos + 1));
+        level.gates.emplace_back(static_cast<wire_t>(a), static_cast<wire_t>(b),
+                                 gate_op_from_char(gate_text[op_pos], line_no));
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
     }
     try {
       net.add_level(std::move(level));

@@ -1,0 +1,65 @@
+#include "lint/diagnostic.hpp"
+
+#include <sstream>
+
+namespace shufflebound {
+
+const char* lint_severity_name(LintSeverity severity) noexcept {
+  switch (severity) {
+    case LintSeverity::Info: return "info";
+    case LintSeverity::Warning: return "warning";
+    case LintSeverity::Error: return "error";
+  }
+  return "error";
+}
+
+JsonValue Diagnostic::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("severity", lint_severity_name(severity));
+  out.set("rule", rule);
+  if (line != 0) out.set("line", static_cast<std::uint64_t>(line));
+  if (unit != 0) out.set("unit", static_cast<std::uint64_t>(unit));
+  out.set("message", message);
+  if (!hint.empty()) out.set("hint", hint);
+  return out;
+}
+
+std::string Diagnostic::to_string(const std::string& prefix) const {
+  std::ostringstream out;
+  out << (prefix.empty() ? "<input>" : prefix) << ':';
+  if (line != 0) out << line << ':';
+  out << ' ' << lint_severity_name(severity) << ": [" << rule << "] "
+      << message;
+  if (!hint.empty()) out << "\n    hint: " << hint;
+  out << '\n';
+  return out.str();
+}
+
+std::size_t LintReport::count(LintSeverity severity) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+bool LintReport::clean(bool strict) const noexcept {
+  if (has_errors()) return false;
+  return !(strict && count(LintSeverity::Warning) > 0);
+}
+
+JsonValue LintReport::to_json(bool strict) const {
+  JsonValue out = JsonValue::object();
+  out.set("ok", clean(strict));
+  out.set("model", model);
+  out.set("width", width);
+  out.set("errors", static_cast<std::uint64_t>(count(LintSeverity::Error)));
+  out.set("warnings",
+          static_cast<std::uint64_t>(count(LintSeverity::Warning)));
+  out.set("infos", static_cast<std::uint64_t>(count(LintSeverity::Info)));
+  JsonValue list = JsonValue::array();
+  for (const Diagnostic& d : diagnostics) list.push_back(d.to_json());
+  out.set("diagnostics", std::move(list));
+  return out;
+}
+
+}  // namespace shufflebound

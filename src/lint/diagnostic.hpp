@@ -1,0 +1,73 @@
+// Structured lint diagnostics.
+//
+// A Diagnostic pins one finding to a rule id, a severity, and a location
+// in the network source text (1-based line, plus the 1-based level /
+// step / stage index where that is more useful than a raw line). The
+// adversary of Lemma 4.1 / Theorem 4.1 only yields trustworthy witnesses
+// for well-formed networks of the right shape, so the linter's job is to
+// say *precisely* what is malformed or non-conforming before any
+// expensive analysis runs - deep exceptions carry none of this context.
+//
+// Reports serialize two ways: a human-readable "file:line: severity:
+// [rule] message" stream for terminals, and a JSON document (via the
+// service's JsonValue) for fleet screening through the batch engine. The
+// JSON schema is documented in docs/lint.md and is part of the service
+// wire contract: rule ids are stable identifiers, never reworded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace shufflebound {
+
+enum class LintSeverity : std::uint8_t {
+  Info,     // stylistic / informational; never affects the exit code
+  Warning,  // suspicious but evaluable; fails only under strict mode
+  Error,    // malformed or non-conforming; always fails the lint
+};
+
+/// Wire name of a severity ("info", "warning", "error").
+const char* lint_severity_name(LintSeverity severity) noexcept;
+
+struct Diagnostic {
+  LintSeverity severity = LintSeverity::Error;
+  std::string rule;     // stable rule id, e.g. "wire-out-of-range"
+  std::size_t line = 0; // 1-based source line; 0 = whole input
+  std::size_t unit = 0; // 1-based level (circuit) / step (register) /
+                        // stage (iterated) index; 0 = not tied to one
+  std::string message;  // what is wrong, with concrete indices
+  std::string hint;     // how to fix it; may be empty
+
+  /// {"severity":..,"rule":..,"line":..,"unit":..,"message":..,"hint":..}
+  /// with zero/empty location fields omitted.
+  JsonValue to_json() const;
+
+  /// "<prefix>:<line>: <severity>: [<rule>] <message>" plus an indented
+  /// "hint:" line when a hint is present. `prefix` is typically the file
+  /// name; pass "" for "<input>".
+  std::string to_string(const std::string& prefix) const;
+};
+
+/// The outcome of linting one network source.
+struct LintReport {
+  std::string model = "unknown";  // "circuit" / "register" / "iterated"
+  std::uint64_t width = 0;
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t count(LintSeverity severity) const noexcept;
+  bool has_errors() const noexcept { return count(LintSeverity::Error) > 0; }
+
+  /// Clean under the given strictness: no errors, and no warnings when
+  /// `strict` is set. Infos never fail a lint.
+  bool clean(bool strict = false) const noexcept;
+
+  /// The full JSON document: {"ok":..,"model":..,"width":..,"errors":..,
+  /// "warnings":..,"infos":..,"diagnostics":[...]}. "ok" reflects
+  /// clean(strict).
+  JsonValue to_json(bool strict = false) const;
+};
+
+}  // namespace shufflebound

@@ -1,0 +1,366 @@
+#include "lint/source.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace shufflebound {
+
+const char* source_model_name(SourceModel model) noexcept {
+  switch (model) {
+    case SourceModel::Circuit: return "circuit";
+    case SourceModel::Register: return "register";
+    case SourceModel::Iterated: return "iterated";
+    case SourceModel::Unknown: return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct LogicalLine {
+  std::size_t number = 0;
+  std::string text;
+};
+
+void add_diag(NetworkSource& src, LintSeverity severity, std::string rule,
+              std::size_t line, std::string message, std::string hint = {}) {
+  Diagnostic d;
+  d.severity = severity;
+  d.rule = std::move(rule);
+  d.line = line;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  src.diagnostics.push_back(std::move(d));
+}
+
+/// Digits-only (optionally '-'-signed) integer; rejects partial parses
+/// like "1e" that std::stoul would silently truncate.
+bool parse_int(const std::string& token, long long& value) {
+  if (token.empty()) return false;
+  std::size_t i = token[0] == '-' ? 1 : 0;
+  if (i == token.size()) return false;
+  for (std::size_t j = i; j < token.size(); ++j)
+    if (std::isdigit(static_cast<unsigned char>(token[j])) == 0) return false;
+  errno = 0;
+  char* end = nullptr;
+  value = std::strtoll(token.c_str(), &end, 10);
+  return errno != ERANGE && end == token.c_str() + token.size();
+}
+
+/// Parses the payload of a '# lint: ...' comment directive.
+void parse_directive(NetworkSource& src, std::size_t line_no,
+                     const std::string& payload) {
+  std::istringstream in(payload);
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    if (key == "expect-depth" && eq != std::string::npos) {
+      long long depth = 0;
+      if (parse_int(token.substr(eq + 1), depth) && depth >= 0) {
+        src.expect_depth = depth;
+        src.expect_depth_line = line_no;
+      } else {
+        add_diag(src, LintSeverity::Warning, "unknown-directive", line_no,
+                 "lint directive 'expect-depth' needs a nonnegative integer, "
+                 "got '" + token.substr(eq + 1) + "'",
+                 "write '# lint: expect-depth=<levels>'");
+      }
+    } else {
+      add_diag(src, LintSeverity::Warning, "unknown-directive", line_no,
+               "unknown lint directive '" + token + "'",
+               "supported directives: expect-depth=<levels>");
+    }
+  }
+}
+
+/// Splits text into (line number, non-empty, comment-stripped) lines,
+/// harvesting '# lint:' directives from the stripped comments.
+std::vector<LogicalLine> scan_lines(const std::string& text,
+                                    NetworkSource& src) {
+  std::vector<LogicalLine> out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      std::string comment = line.substr(hash + 1);
+      const auto tag = comment.find("lint:");
+      if (tag != std::string::npos)
+        parse_directive(src, line_no, comment.substr(tag + 5));
+      line.resize(hash);
+    }
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    out.push_back({line_no, line.substr(first, last - first + 1)});
+    src.last_line = line_no;
+  }
+  return out;
+}
+
+SourceGate parse_gate_token(NetworkSource& src, std::size_t line_no,
+                            const std::string& token) {
+  SourceGate gate;
+  gate.text = token;
+  const auto op_pos = token.find_first_of("+-x");
+  if (op_pos == std::string::npos || op_pos == 0 ||
+      op_pos + 1 >= token.size() ||
+      !parse_int(token.substr(0, op_pos), gate.a) ||
+      !parse_int(token.substr(op_pos + 1), gate.b)) {
+    add_diag(src, LintSeverity::Error, "syntax-gate", line_no,
+             "malformed gate '" + token + "'",
+             "gates are written <wire><op><wire> with op one of + - x, "
+             "e.g. 0+1");
+    return gate;
+  }
+  gate.op = token[op_pos];
+  gate.parsed = true;
+  return gate;
+}
+
+SourceLevel parse_level_line(NetworkSource& src, const LogicalLine& line) {
+  SourceLevel level;
+  level.line = line.number;
+  std::istringstream in(line.text);
+  std::string word;
+  in >> word;  // consume 'level'
+  while (in >> word)
+    level.gates.push_back(parse_gate_token(src, line.number, word));
+  return level;
+}
+
+void parse_circuit_body(NetworkSource& src,
+                        const std::vector<LogicalLine>& lines,
+                        std::size_t idx) {
+  for (; idx < lines.size(); ++idx) {
+    const LogicalLine& line = lines[idx];
+    std::istringstream in(line.text);
+    std::string word;
+    in >> word;
+    if (word == "end") {
+      src.terminated = true;
+      return;
+    }
+    if (word != "level") {
+      add_diag(src, LintSeverity::Error, "syntax-line", line.number,
+               "expected 'level' or 'end', got '" + word + "'");
+      continue;
+    }
+    src.levels.push_back(parse_level_line(src, line));
+  }
+}
+
+void parse_register_body(NetworkSource& src,
+                         const std::vector<LogicalLine>& lines,
+                         std::size_t idx) {
+  for (; idx < lines.size(); ++idx) {
+    const LogicalLine& line = lines[idx];
+    std::istringstream in(line.text);
+    std::string word;
+    in >> word;
+    if (word == "end") {
+      src.terminated = true;
+      return;
+    }
+    if (word != "step") {
+      add_diag(src, LintSeverity::Error, "syntax-line", line.number,
+               "expected 'step' or 'end', got '" + word + "'");
+      continue;
+    }
+    SourceStep step;
+    step.line = line.number;
+    in >> word;
+    bool shape_ok = true;
+    if (word == "shuffle") {
+      step.shuffle = true;
+      in >> word;  // expect ';'
+    } else if (word == "perm") {
+      while (in >> word && word != ";") {
+        long long r = 0;
+        if (parse_int(word, r)) {
+          step.perm.push_back(r);
+        } else {
+          add_diag(src, LintSeverity::Error, "syntax-step", line.number,
+                   "permutation entry '" + word + "' is not an integer");
+          shape_ok = false;
+        }
+      }
+    } else {
+      add_diag(src, LintSeverity::Error, "syntax-step", line.number,
+               "expected 'shuffle' or 'perm' after 'step', got '" + word +
+                   "'");
+      shape_ok = false;
+      src.steps.push_back(std::move(step));
+      continue;
+    }
+    std::string ops_word;
+    if (word != ";" || !(in >> ops_word) || ops_word != "ops" ||
+        !(in >> step.ops)) {
+      add_diag(src, LintSeverity::Error, "syntax-step", line.number,
+               "expected '; ops <symbols>' after the step permutation",
+               "a step is 'step shuffle ; ops <n/2 symbols>' or "
+               "'step perm <image> ; ops <n/2 symbols>'");
+      shape_ok = false;
+    }
+    step.well_formed = shape_ok;
+    src.steps.push_back(std::move(step));
+  }
+}
+
+void parse_iterated_body(NetworkSource& src,
+                         const std::vector<LogicalLine>& lines,
+                         std::size_t idx) {
+  SourceStage* stage = nullptr;
+  for (; idx < lines.size(); ++idx) {
+    const LogicalLine& line = lines[idx];
+    std::istringstream in(line.text);
+    std::string word;
+    in >> word;
+    if (stage == nullptr) {
+      if (word == "end") {
+        src.terminated = true;
+        return;
+      }
+      if (word != "stage") {
+        add_diag(src, LintSeverity::Error, "syntax-stage", line.number,
+                 "expected 'stage' or 'end', got '" + word + "'");
+        continue;
+      }
+      SourceStage next;
+      next.line = line.number;
+      std::string perm_word;
+      in >> perm_word;
+      if (perm_word != "perm") {
+        add_diag(src, LintSeverity::Error, "syntax-stage", line.number,
+                 "expected 'stage perm ...', got 'stage " + perm_word + "'");
+      } else {
+        std::string token;
+        if (!(in >> token)) {
+          add_diag(src, LintSeverity::Error, "syntax-stage", line.number,
+                   "missing permutation after 'stage perm'",
+                   "write 'stage perm identity' or 'stage perm <image>'");
+        } else if (token == "identity") {
+          next.identity = true;
+        } else {
+          do {
+            long long r = 0;
+            if (parse_int(token, r)) {
+              next.perm.push_back(r);
+            } else {
+              add_diag(src, LintSeverity::Error, "syntax-stage", line.number,
+                       "permutation entry '" + token + "' is not an integer");
+            }
+          } while (in >> token);
+        }
+      }
+      src.stages.push_back(std::move(next));
+      stage = &src.stages.back();
+      continue;
+    }
+    // Inside a stage.
+    if (word == "end") {
+      add_diag(src, LintSeverity::Error, "syntax-stage", line.number,
+               "stage is missing 'endstage' before 'end'");
+      src.terminated = true;
+      return;
+    }
+    if (word == "endstage") {
+      stage->closed = true;
+      stage = nullptr;
+      continue;
+    }
+    if (word == "tree") {
+      stage->has_tree = true;
+      stage->tree_line = line.number;
+      std::string token;
+      while (in >> token) {
+        long long w = 0;
+        if (parse_int(token, w)) {
+          stage->tree.push_back(w);
+        } else {
+          add_diag(src, LintSeverity::Error, "syntax-stage", line.number,
+                   "tree entry '" + token + "' is not an integer");
+        }
+      }
+      continue;
+    }
+    if (word == "level") {
+      SourceLevel level;
+      level.line = line.number;
+      std::string token;
+      while (in >> token)
+        level.gates.push_back(parse_gate_token(src, line.number, token));
+      stage->levels.push_back(std::move(level));
+      continue;
+    }
+    add_diag(src, LintSeverity::Error, "syntax-stage", line.number,
+             "expected 'tree', 'level' or 'endstage', got '" + word + "'");
+  }
+}
+
+}  // namespace
+
+NetworkSource parse_network_source(const std::string& text) {
+  NetworkSource src;
+  const std::vector<LogicalLine> lines = scan_lines(text, src);
+  if (lines.empty()) {
+    add_diag(src, LintSeverity::Error, "syntax-header", 0, "empty input",
+             "the first line declares the model: 'circuit <width>', "
+             "'register <width>' or 'iterated <width>'");
+    return src;
+  }
+
+  const LogicalLine& header = lines.front();
+  std::istringstream head(header.text);
+  std::string keyword, width_token;
+  head >> keyword >> width_token;
+  src.header_line = header.number;
+  if (keyword == "circuit") {
+    src.model = SourceModel::Circuit;
+  } else if (keyword == "register") {
+    src.model = SourceModel::Register;
+  } else if (keyword == "iterated") {
+    src.model = SourceModel::Iterated;
+  } else {
+    add_diag(src, LintSeverity::Error, "syntax-header", header.number,
+             "unknown model keyword '" + keyword + "'",
+             "the first line declares the model: 'circuit <width>', "
+             "'register <width>' or 'iterated <width>'");
+    return src;
+  }
+  if (!parse_int(width_token, src.width)) {
+    add_diag(src, LintSeverity::Error, "syntax-header", header.number,
+             "expected '" + keyword + " <width>', got '" + header.text + "'");
+    return src;
+  }
+
+  switch (src.model) {
+    case SourceModel::Circuit:
+      parse_circuit_body(src, lines, 1);
+      break;
+    case SourceModel::Register:
+      parse_register_body(src, lines, 1);
+      break;
+    case SourceModel::Iterated:
+      parse_iterated_body(src, lines, 1);
+      break;
+    case SourceModel::Unknown:
+      break;
+  }
+  if (!src.terminated) {
+    const bool open_stage =
+        !src.stages.empty() && !src.stages.back().closed;
+    add_diag(src, LintSeverity::Error, "missing-end", src.last_line,
+             open_stage ? "input ends inside a stage (missing 'endstage')"
+                        : "input is truncated (missing 'end')",
+             "terminate the network with an 'end' line");
+  }
+  return src;
+}
+
+}  // namespace shufflebound

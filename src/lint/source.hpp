@@ -1,0 +1,95 @@
+// Lenient network-source parsing for the linter.
+//
+// The real parsers (core/io.hpp, networks/rdn_io.hpp) throw at the first
+// problem, and the network models themselves reject bad levels in
+// ComparatorNetwork::add_level - so a parsed network can never *contain*
+// an out-of-range endpoint or a same-wire conflict, and a linter built on
+// them could only ever report one finding per file. This front-end
+// instead accepts anything, records what was written (including
+// unparsable tokens and out-of-range indices), and emits syntax
+// diagnostics as it goes; the rule pass in lint/linter.cpp then runs
+// semantic checks over the recorded source.
+//
+// Comments may carry lint directives: `# lint: expect-depth=<d>` declares
+// the depth the author intends, letting the depth-mismatch rule compare
+// declaration against reality.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace shufflebound {
+
+enum class SourceModel : std::uint8_t { Unknown, Circuit, Register, Iterated };
+
+/// Wire name of a source model ("circuit", "register", "iterated",
+/// "unknown").
+const char* source_model_name(SourceModel model) noexcept;
+
+/// One gate token as written, e.g. "5+3". Endpoints are kept signed and
+/// unvalidated; `parsed` is false when the token could not be decomposed
+/// at all (such gates carry only `text`).
+struct SourceGate {
+  long long a = -1;
+  long long b = -1;
+  char op = '?';  // '+', '-', or 'x'
+  std::string text;
+  bool parsed = false;
+};
+
+struct SourceLevel {
+  std::size_t line = 0;
+  std::vector<SourceGate> gates;
+};
+
+/// One register-model step as written. `shuffle` marks the "step shuffle"
+/// shorthand; otherwise `perm` holds the spelled-out image (possibly the
+/// wrong length). `well_formed` is false when the "; ops" tail was
+/// missing or mangled (a syntax diagnostic has then been emitted).
+struct SourceStep {
+  std::size_t line = 0;
+  bool shuffle = false;
+  std::vector<long long> perm;
+  std::string ops;
+  bool well_formed = false;
+};
+
+/// One iterated-RDN stage as written.
+struct SourceStage {
+  std::size_t line = 0;  // the 'stage' line
+  bool identity = false;
+  std::vector<long long> perm;
+  std::vector<long long> tree;
+  std::size_t tree_line = 0;
+  bool has_tree = false;
+  std::vector<SourceLevel> levels;
+  bool closed = false;  // saw 'endstage'
+};
+
+struct NetworkSource {
+  SourceModel model = SourceModel::Unknown;
+  long long width = 0;
+  std::size_t header_line = 0;
+  bool terminated = false;  // saw the final 'end'
+  std::size_t last_line = 0;  // last logical (non-empty) line seen
+  std::optional<long long> expect_depth;  // '# lint: expect-depth=<d>'
+  std::size_t expect_depth_line = 0;
+
+  std::vector<SourceLevel> levels;  // circuit model
+  std::vector<SourceStep> steps;    // register model
+  std::vector<SourceStage> stages;  // iterated model
+
+  /// Syntax findings discovered while scanning; the rule pass appends the
+  /// semantic ones.
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Scans `text` into a NetworkSource. Never throws; every problem becomes
+/// a diagnostic and scanning continues on a best-effort basis.
+NetworkSource parse_network_source(const std::string& text);
+
+}  // namespace shufflebound

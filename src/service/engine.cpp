@@ -8,6 +8,7 @@
 #include "adversary/refuter.hpp"
 #include "analysis/sortedness.hpp"
 #include "core/bitparallel.hpp"
+#include "lint/linter.hpp"
 #include "sim/batch.hpp"
 #include "util/bits.hpp"
 #include "util/prng.hpp"
@@ -273,6 +274,11 @@ JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
           result.payload = count_sorted_payload(net.circuit, spec, deadline);
         }
         break;
+      case JobKind::Lint:
+        // Lint never reaches the parsed path: it runs on the raw text
+        // (malformed networks are its whole subject). See execute().
+        result.error = "internal: lint dispatched to the parsed path";
+        return result;
       case JobKind::Invalid:
         result.error = spec.parse_error.empty() ? "invalid job"
                                                 : spec.parse_error;
@@ -288,6 +294,26 @@ JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
     result.ok = false;
     result.error = e.what();
     result.payload = JsonValue();
+  }
+  return result;
+}
+
+/// Runs the linter on the raw network text. Succeeds when the report is
+/// clean under the spec's strictness; a dirty report still attaches the
+/// full diagnostic document to the (failed) result.
+JobResult lint_result(const JobSpec& spec) {
+  JobResult result;
+  result.seq = spec.seq;
+  result.id = spec.id;
+  result.kind = spec.kind;
+  const LintReport report = lint_network_text(spec.network_text);
+  result.payload = report.to_json(spec.strict);
+  result.ok = report.clean(spec.strict);
+  if (!result.ok) {
+    const std::size_t errors = report.count(LintSeverity::Error);
+    const std::size_t warnings = report.count(LintSeverity::Warning);
+    result.error = "lint: " + std::to_string(errors) + " error(s), " +
+                   std::to_string(warnings) + " warning(s)";
   }
   return result;
 }
@@ -311,6 +337,20 @@ CacheKey AnalysisEngine::cache_key(const JobSpec& spec,
   return key;
 }
 
+CacheKey AnalysisEngine::lint_cache_key(const JobSpec& spec) {
+  // Lint has no parsed form to fingerprint (malformed text is its whole
+  // subject), so the key hashes the raw bytes instead.
+  CacheKey key;
+  FingerprintHasher text;
+  text.absorb_bytes(spec.network_text.data(), spec.network_text.size());
+  key.network = text.finish();
+  FingerprintHasher params;
+  params.absorb(static_cast<std::uint64_t>(spec.kind));
+  params.absorb(spec.strict ? 1 : 0);
+  key.params = params.finish().lo;
+  return key;
+}
+
 JobResult AnalysisEngine::execute(const JobSpec& spec,
                                   Clock::time_point deadline) {
   if (spec.kind == JobKind::Invalid) {
@@ -322,6 +362,7 @@ JobResult AnalysisEngine::execute(const JobSpec& spec,
         spec.parse_error.empty() ? "invalid job" : spec.parse_error;
     return result;
   }
+  if (spec.kind == JobKind::Lint) return lint_result(spec);
   try {
     const ParsedNetwork net = parse_any_network(spec.network_text);
     return execute_parsed(spec, net, deadline);
@@ -382,7 +423,31 @@ void AnalysisEngine::process(JobSpec spec) {
   JobKindTelemetry& tk = telemetry_.kind(static_cast<std::size_t>(spec.kind));
   std::optional<JobResult> result;
 
-  if (spec.kind != JobKind::Invalid) {
+  if (spec.kind == JobKind::Lint) {
+    // Lint runs on raw text: cache under a hash of the bytes. Only clean
+    // reports are cached (the usual ok-results-only policy); dirty specs
+    // re-lint, which is cheap.
+    std::optional<CacheKey> key;
+    if (config_.cache_enabled) {
+      key = lint_cache_key(spec);
+      if (std::optional<JsonValue> hit = cache_->lookup(*key)) {
+        JobResult r;
+        r.seq = spec.seq;
+        r.id = spec.id;
+        r.kind = spec.kind;
+        r.ok = true;
+        r.payload = std::move(*hit);
+        r.from_cache = true;
+        result = std::move(r);
+        tk.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!result) {
+      if (key) tk.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      result = execute(spec, deadline);
+      if (result->ok && key) cache_->insert(*key, result->payload);
+    }
+  } else if (spec.kind != JobKind::Invalid) {
     std::optional<ParsedNetwork> net;
     try {
       net = parse_any_network(spec.network_text);

@@ -98,6 +98,10 @@ class AnalysisEngine {
   /// can seed or poison entries deliberately.
   static CacheKey cache_key(const JobSpec& spec, const ParsedNetwork& net);
 
+  /// Lint jobs have no parsed form; their key hashes the raw text bytes
+  /// plus the strictness flag.
+  static CacheKey lint_cache_key(const JobSpec& spec);
+
  private:
   void worker_loop();
   void process(JobSpec spec);

@@ -16,6 +16,7 @@ const char* job_kind_name(JobKind kind) noexcept {
     case JobKind::Certify: return "certify";
     case JobKind::Refute: return "refute";
     case JobKind::CountSorted: return "count-sorted";
+    case JobKind::Lint: return "lint";
     case JobKind::Invalid: return "invalid";
   }
   return "invalid";
@@ -57,6 +58,7 @@ std::optional<JobKind> kind_from_name(const std::string& name) {
   if (name == "certify") return JobKind::Certify;
   if (name == "refute") return JobKind::Refute;
   if (name == "count-sorted") return JobKind::CountSorted;
+  if (name == "lint") return JobKind::Lint;
   return std::nullopt;
 }
 
@@ -134,6 +136,11 @@ JobSpec job_from_json_line(const std::string& line,
     return invalid_spec(spec.id, "'k' must be a number");
   if (!read_uint("timeout_ms", spec.timeout_ms))
     return invalid_spec(spec.id, "'timeout_ms' must be a number");
+  if (const JsonValue* strict = doc.find("strict")) {
+    if (!strict->is_bool())
+      return invalid_spec(spec.id, "'strict' must be a boolean");
+    spec.strict = strict->as_bool();
+  }
   return spec;
 }
 
@@ -147,6 +154,9 @@ std::string JobResult::to_json_line() const {
   } else {
     out.set("error", error);
     if (timed_out) out.set("timeout", true);
+    // Lint failures still carry the full diagnostic document; other kinds
+    // leave the payload null on failure.
+    if (!payload.is_null()) out.set("result", payload);
   }
   return out.dump();
 }

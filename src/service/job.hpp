@@ -7,6 +7,7 @@
 //   {"op":"count-sorted","network_file":"net.txt","trials":4096,"seed":9}
 //   {"op":"refute","network_file":"shallow.txt","k":0}
 //   {"op":"info","network":"register 8\n...","timeout_ms":500}
+//   {"op":"lint","network_file":"candidate.txt","strict":true}
 //
 // "network" carries the text format of core/io.hpp (or the iterated-RDN
 // format of networks/rdn_io.hpp) inline; "network_file" reads it from
@@ -37,10 +38,15 @@ enum class JobKind : std::uint8_t {
   Certify,
   Refute,
   CountSorted,
+  Lint,
   Invalid,
 };
 
-/// Wire name of a job kind ("info", "certify", "refute", "count-sorted").
+/// Number of JobKind values (telemetry array bound).
+inline constexpr std::size_t kJobKindCount = 6;
+
+/// Wire name of a job kind ("info", "certify", "refute", "count-sorted",
+/// "lint").
 const char* job_kind_name(JobKind kind) noexcept;
 
 struct JobSpec {
@@ -51,6 +57,7 @@ struct JobSpec {
   std::size_t trials = 4096;  // count-sorted
   std::uint64_t seed = 1;     // count-sorted
   std::uint32_t k = 0;        // refute chunk length; 0 = paper's lg n
+  bool strict = false;        // lint: promote warnings to failures
   std::uint64_t timeout_ms = 0;  // 0 = engine default / unlimited
   std::string parse_error;    // Invalid only: why the line was rejected
 };
@@ -81,11 +88,12 @@ struct JobResult {
   bool ok = false;
   bool timed_out = false;
   std::string error;      // when !ok
-  JsonValue payload;      // kind-specific object when ok
+  JsonValue payload;      // kind-specific object when ok; lint jobs also
+                          // carry their diagnostics here on failure
   bool from_cache = false;  // telemetry only; never serialized
 
   /// The JSONL result line (no trailing newline). Deterministic: contains
-  /// id, op, ok and payload/error only.
+  /// id, op, ok and payload/error only (failed lint jobs carry both).
   std::string to_json_line() const;
 };
 

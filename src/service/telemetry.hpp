@@ -66,7 +66,7 @@ class Telemetry {
 
  private:
   // Indexed by JobKind (Info..Invalid).
-  std::array<JobKindTelemetry, 5> kinds_{};
+  std::array<JobKindTelemetry, 6> kinds_{};
   std::atomic<std::uint64_t> queue_high_water_{0};
   std::atomic<std::uint64_t> witness_revalidations_{0};
   std::atomic<std::uint64_t> witness_revalidation_failures_{0};

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "networks/batcher.hpp"
 #include "networks/classic.hpp"
 #include "networks/shuffle.hpp"
@@ -10,6 +13,15 @@
 
 namespace shufflebound {
 namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(SB_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 TEST(CircuitText, RoundTripsBatcher) {
   for (const wire_t n : {2u, 8u, 16u}) {
@@ -54,6 +66,48 @@ TEST(CircuitText, ParseErrorsCarryLineNumbers) {
   expect_error("circuit 4\nlevel 0?1\nend\n", "malformed gate");
   expect_error("circuit 4\nlevel 0+9\nend\n", "out of range");
   expect_error("nonsense 4\nend\n", "expected 'circuit <width>'");
+}
+
+// The malformed-fixture corpus (shared with test_lint): the strict parser
+// must reject each file and point at the exact 1-based source line.
+TEST(CircuitText, FixtureParseErrorsPointAtTheRightLine) {
+  const struct {
+    const char* file;
+    const char* line_tag;
+  } cases[] = {
+      {"bad_wire_index.txt", "network text line 4"},
+      {"level_conflict.txt", "network text line 3"},
+      {"gate_self_loop.txt", "network text line 4"},
+      {"truncated.txt", "network text line 4"},  // last content line
+  };
+  for (const auto& c : cases) {
+    try {
+      circuit_from_text(fixture(c.file));
+      FAIL() << c.file << " parsed unexpectedly";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.line_tag), std::string::npos)
+          << c.file << ": " << e.what();
+    }
+  }
+}
+
+// depth_mismatch.txt is the one corpus file the strict parsers accept -
+// its defect lives in a lint directive the parsers deliberately ignore.
+TEST(CircuitText, DepthMismatchFixtureStillParses) {
+  const auto net = circuit_from_text(fixture("depth_mismatch.txt"));
+  EXPECT_EQ(net.width(), 4u);
+  EXPECT_EQ(net.depth(), 2u);
+}
+
+TEST(RegisterText, FixtureParseErrorPointsAtTheRightLine) {
+  try {
+    register_from_text(fixture("register_short_ops.txt"));
+    FAIL() << "register_short_ops.txt parsed unexpectedly";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("network text line 3"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(RegisterText, RoundTripsShuffleNetwork) {

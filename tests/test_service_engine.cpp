@@ -237,6 +237,67 @@ TEST(ServiceEngine, ExecuteRejectsMalformedNetworkText) {
   EXPECT_FALSE(result.error.empty());
 }
 
+TEST(ServiceEngine, ExecuteLintCleanNetworkSucceeds) {
+  const JobResult result =
+      AnalysisEngine::execute(make_spec(JobKind::Lint, sorter8_text()));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.payload.find("ok")->as_bool());
+  EXPECT_EQ(result.payload.find("errors")->as_uint(), 0u);
+  EXPECT_EQ(result.payload.find("model")->as_string(), "circuit");
+}
+
+TEST(ServiceEngine, ExecuteLintDirtyNetworkFailsWithDiagnosticsPayload) {
+  const JobResult result = AnalysisEngine::execute(
+      make_spec(JobKind::Lint, "circuit 4\nlevel 0+9\nend\n"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("lint:"), std::string::npos);
+  // Unlike other kinds, a failed lint still carries its full report...
+  ASSERT_FALSE(result.payload.is_null());
+  EXPECT_GE(result.payload.find("errors")->as_uint(), 1u);
+  // ...and the JSONL line exposes it alongside the error.
+  const std::string line = result.to_json_line();
+  EXPECT_NE(line.find("\"error\""), std::string::npos);
+  EXPECT_NE(line.find("wire-out-of-range"), std::string::npos);
+}
+
+TEST(ServiceEngine, LintStrictFlagPromotesWarningsToFailure) {
+  JobSpec spec = make_spec(JobKind::Lint, "circuit 4\nlevel 0+1\nend\n");
+  EXPECT_TRUE(AnalysisEngine::execute(spec).ok);  // unused-wire is a warning
+  spec.strict = true;
+  const JobResult strict = AnalysisEngine::execute(spec);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_FALSE(strict.payload.find("ok")->as_bool());
+}
+
+TEST(ServiceJob, LintLineParsesStrictFlag) {
+  JsonValue o = JsonValue::object();
+  o.set("op", "lint");
+  o.set("network", sorter8_text());
+  o.set("strict", true);
+  const JobSpec spec = job_from_json_line(o.dump(), 1);
+  EXPECT_EQ(spec.kind, JobKind::Lint);
+  EXPECT_TRUE(spec.strict);
+}
+
+TEST(ServiceEngine, LintJobsAreCachedByTextAndStrictness) {
+  const std::string sorter = sorter8_text();
+  const std::vector<std::string> lines = {job_line("lint", sorter, "l0"),
+                                          job_line("lint", sorter, "l1")};
+  const BatchRun run = run_batch(lines, EngineConfig{});
+  ASSERT_EQ(run.lines.size(), 2u);
+  // Identical text + strictness: second job is a pure cache hit, and the
+  // serialized results are byte-identical apart from the id.
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "lint", "cache_hits"}), 1u);
+  EXPECT_EQ(telemetry_uint(run.telemetry, {"jobs", "lint", "cache_misses"}),
+            1u);
+
+  JobSpec spec = make_spec(JobKind::Lint, sorter);
+  const CacheKey relaxed = AnalysisEngine::lint_cache_key(spec);
+  spec.strict = true;
+  const CacheKey strict = AnalysisEngine::lint_cache_key(spec);
+  EXPECT_FALSE(relaxed == strict);  // strictness changes the verdict
+}
+
 // --- Engine: ordering, determinism, cache ------------------------------
 
 std::vector<std::string> mixed_job_lines() {

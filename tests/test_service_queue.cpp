@@ -92,6 +92,42 @@ TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer) {
   EXPECT_TRUE(pop_empty.load());
 }
 
+TEST(BoundedQueue, CloseWakesEveryBlockedProducerWithoutLosingItems) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+
+  constexpr int kBlocked = 4;
+  std::vector<std::atomic<bool>> results(kBlocked);
+  for (auto& r : results) r = true;
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kBlocked; ++i)
+    producers.emplace_back([&q, &results, i] { results[static_cast<std::size_t>(i)] = q.push(100 + i); });
+
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(q.depth(), 2u);  // all four producers are parked at capacity
+  q.close();
+  for (auto& t : producers) t.join();
+  for (const auto& r : results) EXPECT_FALSE(r.load());
+
+  // Close rejected the blocked pushes but kept what was already queued.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PushAfterCloseIsRefusedAndQueueIsUntouched) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(q.push(90 + i));
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
 TEST(BoundedQueue, HighWaterTracksMaxDepth) {
   BoundedQueue<int> q(8);
   EXPECT_EQ(q.high_water(), 0u);

@@ -103,8 +103,8 @@ TEST(ZeroOne, ZeroOnePrincipleAgreesWithPermutationTesting) {
     ComparatorNetwork net(4);
     for (int l = 0; l < 3; ++l) {
       Level level;
-      const wire_t a = rng.below(4);
-      wire_t b = rng.below(4);
+      const auto a = static_cast<wire_t>(rng.below(4));
+      auto b = static_cast<wire_t>(rng.below(4));
       if (a == b) b = (b + 1) % 4;
       level.gates.emplace_back(a, b, rng.chance(1, 2) ? GateOp::CompareAsc
                                                       : GateOp::CompareDesc);

@@ -19,6 +19,9 @@
 //   route <n> <seed>                  Benes-route a random permutation
 //   batch [jobs.jsonl|-] [flags]      concurrent JSONL job stream through
 //                                     the analysis engine (docs/service.md)
+//   lint  <file...> [--json] [--strict]
+//                                     rule-based diagnostics over network
+//                                     spec files (docs/lint.md)
 //
 // Files holding register networks are flattened where a circuit is
 // required; 'refute' requires a shuffle-based register network (the class
@@ -29,6 +32,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "adversary/certificate.hpp"
 #include "adversary/refuter.hpp"
@@ -42,6 +46,7 @@
 #include "networks/classic.hpp"
 #include "networks/rdn.hpp"
 #include "networks/rdn_io.hpp"
+#include "lint/linter.hpp"
 #include "networks/shuffle.hpp"
 #include "routing/benes.hpp"
 #include "service/engine.hpp"
@@ -392,6 +397,66 @@ int cmd_batch(int argc, char** argv) {
   return any_failed ? 1 : 0;
 }
 
+// lint: run the rule catalog of src/lint over one or more network files.
+// Exit 0 = every file clean (under the chosen strictness), 1 = diagnostics
+// made some file fail, 2 = usage or I/O trouble. Unlike the real parsers,
+// the linter recovers after each problem, so one run reports everything.
+int cmd_lint(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  std::vector<std::string> paths;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: lint <file...> [--json] [--strict]\n");
+    return 2;
+  }
+
+  bool any_failed = false;
+  JsonValue reports = JsonValue::array();
+  for (const std::string& path : paths) {
+    std::string text;
+    try {
+      text = read_file(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lint: %s\n", e.what());
+      return 2;
+    }
+    const LintReport report = lint_network_text(text);
+    if (!report.clean(strict)) any_failed = true;
+    if (json) {
+      JsonValue doc = report.to_json(strict);
+      doc.set("file", path);
+      reports.push_back(std::move(doc));
+    } else {
+      for (const Diagnostic& diag : report.diagnostics)
+        std::fputs(diag.to_string(path).c_str(), stdout);
+      std::printf("%s: %zu error(s), %zu warning(s), %zu info(s)\n",
+                  path.c_str(), report.count(LintSeverity::Error),
+                  report.count(LintSeverity::Warning),
+                  report.count(LintSeverity::Info));
+    }
+  }
+  if (json) {
+    const std::string out =
+        paths.size() == 1 ? reports.items().front().dump() : reports.dump();
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return any_failed ? 1 : 0;
+}
+
 int cmd_route(wire_t n, std::uint64_t seed) {
   Prng rng(seed);
   const Permutation target = random_permutation(n, rng);
@@ -407,7 +472,7 @@ int cmd_route(wire_t n, std::uint64_t seed) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch ...\n",
+                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch|lint ...\n",
                  argv[0]);
     return 2;
   }
@@ -431,6 +496,7 @@ int main(int argc, char** argv) {
       return cmd_route(static_cast<wire_t>(std::atoi(argv[2])),
                        static_cast<std::uint64_t>(std::atoll(argv[3])));
     if (cmd == "batch") return cmd_batch(argc - 2, argv + 2);
+    if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
