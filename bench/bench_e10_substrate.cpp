@@ -3,6 +3,8 @@
 // Not a paper claim: this bench characterizes the simulation machinery
 // every other experiment stands on - bit-parallel 0-1 sweeps (64 vectors
 // per word), scalar evaluation, and threaded batch throughput/scaling.
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "networks/batcher.hpp"
 #include "networks/shuffle.hpp"
@@ -24,7 +26,16 @@ void print_table() {
   ThreadPool pool;
   for (const wire_t n : {4u, 8u, 16u}) {
     const auto circuit = bitonic_sorting_network(n);
+    const auto start = std::chrono::steady_clock::now();
     const auto report = zero_one_check(circuit, &pool);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (n == 16) {
+      benchutil::metric("zero_one_mvps_n16",
+                        static_cast<double>(report.vectors_checked) / secs /
+                            1e6);
+    }
     std::printf("%-28s | %14llu %12s\n",
                 ("bitonic circuit n=" + std::to_string(n)).c_str(),
                 static_cast<unsigned long long>(report.vectors_checked),
@@ -35,6 +46,21 @@ void print_table() {
                 ("Stone shuffle form n=" + std::to_string(n)).c_str(),
                 static_cast<unsigned long long>(reg_report.vectors_checked),
                 reg_report.sorts_all ? "yes" : "NO");
+  }
+  // Monte-Carlo batch throughput, recorded for the perf-smoke gate.
+  {
+    const std::size_t trials = benchutil::quick() ? 500 : 2000;
+    BatchEvaluator evaluator;
+    const auto net = bitonic_sorting_network(256);
+    const auto start = std::chrono::steady_clock::now();
+    const auto count = evaluator.count_sorted_outputs(net, trials, 3);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    benchutil::metric("batch_trials_per_s_n256",
+                      static_cast<double>(trials) / secs);
+    std::printf("Monte-Carlo batch: %zu trials on bitonic n=256, %zu sorted\n",
+                trials, count);
   }
   std::printf("(the google-benchmark section below carries timing detail,\n"
               " including 2^20-vector sweeps and thread scaling)\n");

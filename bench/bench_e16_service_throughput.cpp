@@ -36,11 +36,12 @@ std::vector<std::string> make_network_texts() {
   return texts;
 }
 
-std::vector<JobSpec> make_job_stream(const std::vector<std::string>& texts) {
+std::vector<JobSpec> make_job_stream(const std::vector<std::string>& texts,
+                                     std::size_t count = kJobs) {
   Prng rng(1617);
   std::vector<JobSpec> jobs;
-  jobs.reserve(kJobs);
-  for (std::size_t i = 0; i < kJobs; ++i) {
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     JobSpec spec;
     spec.id = "job-" + std::to_string(i);
     spec.network_text = texts[rng.below(texts.size())];
@@ -97,7 +98,8 @@ void print_table() {
       "batch service turns sweep workloads into one job stream; the "
       "fingerprint cache removes repeated work entirely");
   const auto texts = make_network_texts();
-  const auto jobs = make_job_stream(texts);
+  const auto jobs =
+      make_job_stream(texts, benchutil::quick() ? kJobs / 5 : kJobs);
   std::printf("%zu jobs over %zu distinct n=16 networks (info / certify / "
               "refute / count-sorted mix)\n\n",
               jobs.size(), texts.size());
@@ -109,10 +111,15 @@ void print_table() {
     auto cache = std::make_shared<ResultCache>();
     const StreamStats cold = run_stream(jobs, workers, cache);
     const StreamStats warm = run_stream(jobs, workers, cache);
+    const double cold_rate = static_cast<double>(jobs.size()) / cold.seconds;
+    const double warm_rate = static_cast<double>(jobs.size()) / warm.seconds;
+    if (workers == 1) {
+      benchutil::metric("cold_jobs_per_s_w1", cold_rate);
+      benchutil::metric("warm_jobs_per_s_w1", warm_rate);
+      benchutil::metric("warm_speedup_w1", cold.seconds / warm.seconds);
+    }
     std::printf("%8zu | %12.0f %12.0f | %11.1fx %10llu\n", workers,
-                static_cast<double>(jobs.size()) / cold.seconds,
-                static_cast<double>(jobs.size()) / warm.seconds,
-                cold.seconds / warm.seconds,
+                cold_rate, warm_rate, cold.seconds / warm.seconds,
                 static_cast<unsigned long long>(warm.cache_hits));
   }
   benchutil::rule();
@@ -122,7 +129,7 @@ void print_table() {
       "the cold pass; extra workers help the cold pass (compute-bound)\n"
       "far more than the warm one (lookup-bound). Output lines are\n"
       "byte-identical in every cell - only telemetry differs.\n",
-      kJobs);
+      jobs.size());
 }
 
 void BM_ServiceBatchCold(benchmark::State& state) {

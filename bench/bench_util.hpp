@@ -1,36 +1,131 @@
 // Shared helpers for the experiment binaries: each binary prints its
 // experiment table (the reproduction artifact recorded in EXPERIMENTS.md)
 // and then runs its google-benchmark timings.
+//
+// Every binary additionally understands two flags of its own, stripped
+// before google-benchmark sees the command line:
+//
+//   --quick        shrink the experiment table to CI smoke size (also
+//                  enabled by SHUFFLEBOUND_BENCH_QUICK=1 in the env)
+//   --json <path>  after the run, write a machine-readable report
+//                  {"experiment","title","claim","quick","metrics"} to
+//                  <path>; metrics are the named scalars the table code
+//                  recorded via benchutil::metric(). The perf-smoke CI
+//                  job diffs these against bench/baseline.json with
+//                  tools/bench_regress.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
+
+#include "service/json.hpp"
 
 namespace shufflebound::benchutil {
+
+/// Per-binary report state filled in by header()/metric() and flushed by
+/// run_main(). One binary = one experiment = one report.
+struct Report {
+  std::string experiment;  // "E10" - text before ':' in the header id
+  std::string title;       // text after ':' in the header id
+  std::string claim;
+  bool quick = false;
+  std::string json_path;
+  JsonValue metrics = JsonValue::object();
+
+  static Report& instance() {
+    static Report report;
+    return report;
+  }
+};
 
 inline void header(const std::string& experiment_id, const std::string& claim) {
   std::printf("\n==============================================================\n");
   std::printf("%s\n", experiment_id.c_str());
   std::printf("claim: %s\n", claim.c_str());
   std::printf("==============================================================\n");
+  Report& report = Report::instance();
+  const std::size_t colon = experiment_id.find(':');
+  report.experiment = experiment_id.substr(0, colon);
+  if (colon != std::string::npos) {
+    std::size_t start = colon + 1;
+    while (start < experiment_id.size() && experiment_id[start] == ' ') ++start;
+    report.title = experiment_id.substr(start);
+  }
+  report.claim = claim;
 }
 
 inline void rule() {
   std::printf("--------------------------------------------------------------\n");
 }
 
-/// Standard main body: print the experiment table, then timings.
-#define SHUFFLEBOUND_BENCH_MAIN(print_fn)                   \
-  int main(int argc, char** argv) {                         \
-    print_fn();                                             \
-    benchmark::Initialize(&argc, argv);                     \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                             \
-    benchmark::RunSpecifiedBenchmarks();                    \
-    benchmark::Shutdown();                                  \
-    return 0;                                               \
+/// Records a named scalar into the --json report. Metrics are
+/// higher-is-better by convention (throughputs, speedups, counts): the
+/// regression gate flags values that DROP below baseline.
+inline void metric(const std::string& name, double value) {
+  Report::instance().metrics.set(name, value);
+}
+
+/// True when invoked with --quick or SHUFFLEBOUND_BENCH_QUICK=1: table
+/// code should shrink its workload to CI smoke size while still
+/// recording every metric name it records in a full run.
+inline bool quick() { return Report::instance().quick; }
+
+inline int run_main(int argc, char** argv, void (*print_fn)()) {
+  Report& report = Report::instance();
+  if (const char* env = std::getenv("SHUFFLEBOUND_BENCH_QUICK"))
+    report.quick = env[0] != '\0' && env[0] != '0';
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      report.quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      report.json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+
+  print_fn();
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!report.json_path.empty()) {
+    JsonValue doc = JsonValue::object();
+    doc.set("experiment", report.experiment);
+    doc.set("title", report.title);
+    doc.set("claim", report.claim);
+    doc.set("quick", report.quick);
+    doc.set("metrics", report.metrics);
+    std::ofstream out(report.json_path);
+    out << doc.dump() << '\n';
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   report.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", report.json_path.c_str());
+  }
+  return 0;
+}
+
+/// Standard main body: print the experiment table, then timings, then
+/// the optional --json report.
+#define SHUFFLEBOUND_BENCH_MAIN(print_fn)                     \
+  int main(int argc, char** argv) {                           \
+    return shufflebound::benchutil::run_main(argc, argv,      \
+                                             &(print_fn));    \
   }
 
 }  // namespace shufflebound::benchutil

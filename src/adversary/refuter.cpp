@@ -3,6 +3,7 @@
 #include <functional>
 #include <sstream>
 
+#include "sim/compiled_net.hpp"
 #include "util/bits.hpp"
 
 namespace shufflebound {
@@ -41,7 +42,11 @@ RefutationResult refute(const IteratedRdn& net, std::uint32_t k) {
   note << "iterated RDN, " << net.stage_count() << " stage(s)";
   return finish(
       adversary,
-      [&](const Witness& w) { return check_witness(net, w).refutes_sorting(); },
+      [&](const Witness& w) {
+        // Verify through the compiled kernel: the certificate's validity
+        // must not depend on the same evaluator the adversary ran on.
+        return check_witness(compile(net), w).refutes_sorting();
+      },
       note.str());
 }
 
@@ -64,7 +69,9 @@ RefutationResult refute(const RegisterNetwork& net, std::uint32_t k) {
   note << "shuffle-based network, " << rdn.stage_count() << " chunk(s) of lg n";
   return finish(
       adversary,
-      [&](const Witness& w) { return check_witness(net, w).refutes_sorting(); },
+      [&](const Witness& w) {
+        return check_witness(compile(net), w).refutes_sorting();
+      },
       note.str());
 }
 
@@ -100,7 +107,9 @@ RefutationResult refute(const ComparatorNetwork& net, std::uint32_t k) {
   note << "circuit sliced into " << chunks << " recognized RDN chunk(s)";
   return finish(
       adversary,
-      [&](const Witness& w) { return check_witness(net, w).refutes_sorting(); },
+      [&](const Witness& w) {
+        return check_witness(compile(net), w).refutes_sorting();
+      },
       note.str());
 }
 

@@ -65,15 +65,10 @@ std::vector<wire_t> run_with_recorder(const Net& net, const Permutation& input,
   return values;
 }
 
-template <typename Net>
-WitnessCheck check_impl(const Net& net, const Witness& w) {
-  const wire_t n = w.pi.size();
-  ComparisonRecorder rec_pi(n);
-  ComparisonRecorder rec_prime(n);
-  const std::vector<wire_t> out_pi = run_with_recorder(net, w.pi, rec_pi);
-  const std::vector<wire_t> out_prime =
-      run_with_recorder(net, w.pi_prime, rec_prime);
-
+WitnessCheck judge(const Witness& w, const ComparisonRecorder& rec_pi,
+                   const ComparisonRecorder& rec_prime,
+                   const std::vector<wire_t>& out_pi,
+                   const std::vector<wire_t>& out_prime) {
   WitnessCheck check;
   check.never_compared =
       !rec_pi.compared(w.m, w.m + 1) && !rec_prime.compared(w.m, w.m + 1);
@@ -84,13 +79,24 @@ WitnessCheck check_impl(const Net& net, const Witness& w) {
     return v;
   };
   check.same_permutation = true;
-  for (wire_t pos = 0; pos < n; ++pos) {
+  for (wire_t pos = 0; pos < w.pi.size(); ++pos) {
     if (out_prime[pos] != swap_pair(out_pi[pos])) {
       check.same_permutation = false;
       break;
     }
   }
   return check;
+}
+
+template <typename Net>
+WitnessCheck check_impl(const Net& net, const Witness& w) {
+  const wire_t n = w.pi.size();
+  ComparisonRecorder rec_pi(n);
+  ComparisonRecorder rec_prime(n);
+  const std::vector<wire_t> out_pi = run_with_recorder(net, w.pi, rec_pi);
+  const std::vector<wire_t> out_prime =
+      run_with_recorder(net, w.pi_prime, rec_prime);
+  return judge(w, rec_pi, rec_prime, out_pi, out_prime);
 }
 
 }  // namespace
@@ -105,6 +111,19 @@ WitnessCheck check_witness(const RegisterNetwork& net, const Witness& w) {
 
 WitnessCheck check_witness(const IteratedRdn& net, const Witness& w) {
   return check_impl(net, w);
+}
+
+WitnessCheck check_witness(const CompiledNetwork& net, const Witness& w) {
+  const wire_t n = w.pi.size();
+  ComparisonRecorder rec_pi(n);
+  ComparisonRecorder rec_prime(n);
+  std::vector<wire_t> out_pi(w.pi.image().begin(), w.pi.image().end());
+  std::vector<wire_t> out_prime(w.pi_prime.image().begin(),
+                                w.pi_prime.image().end());
+  std::vector<wire_t> scratch;
+  net.apply_with_observer(out_pi, scratch, rec_pi);
+  net.apply_with_observer(out_prime, scratch, rec_prime);
+  return judge(w, rec_pi, rec_prime, out_pi, out_prime);
 }
 
 }  // namespace shufflebound

@@ -18,6 +18,7 @@
 #include "core/register_network.hpp"
 #include "networks/rdn.hpp"
 #include "perm/permutation.hpp"
+#include "sim/compiled_net.hpp"
 
 namespace shufflebound {
 
@@ -52,5 +53,12 @@ struct WitnessCheck {
 WitnessCheck check_witness(const ComparatorNetwork& net, const Witness& w);
 WitnessCheck check_witness(const RegisterNetwork& net, const Witness& w);
 WitnessCheck check_witness(const IteratedRdn& net, const Witness& w);
+
+/// Same verdict via the compiled kernel (sim/compiled_net.hpp): compiling
+/// elides exchanges and permutations but preserves the multiset of value
+/// pairs that meet at comparators, so the recorder sees the same
+/// comparisons and the replay reaches the same refutation verdict. Lets a
+/// caller amortize one compile() across many witnesses of the same net.
+WitnessCheck check_witness(const CompiledNetwork& net, const Witness& w);
 
 }  // namespace shufflebound

@@ -1,8 +1,7 @@
 #include "core/bitparallel.hpp"
 
-#include <atomic>
-#include <bit>
 #include <stdexcept>
+#include <utility>
 
 namespace shufflebound {
 
@@ -73,141 +72,6 @@ void evaluate_packed(const RegisterNetwork& net,
       }
     }
   }
-}
-
-namespace {
-
-template <typename Net>
-ZeroOneReport zero_one_check_impl(const Net& net, ThreadPool* pool) {
-  const wire_t n = net.width();
-  if (n > 30)
-    throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
-  const std::uint64_t total = std::uint64_t{1} << n;
-  const std::uint64_t batches = (total + 63) / 64;
-
-  std::atomic<std::uint64_t> failing{UINT64_MAX};
-  const auto run_batch = [&](std::size_t batch) {
-    if (failing.load(std::memory_order_relaxed) != UINT64_MAX) return;
-    const std::uint64_t base = static_cast<std::uint64_t>(batch) * 64;
-    std::vector<std::uint64_t> words(n, 0);
-    for (wire_t w = 0; w < n; ++w) {
-      std::uint64_t word = 0;
-      for (std::uint64_t s = 0; s < 64 && base + s < total; ++s)
-        word |= ((base + s) >> w & 1ull) << s;
-      words[w] = word;
-    }
-    evaluate_packed(net, words);
-    // Sorted ascending means 0s then 1s: no wire may carry 1 while a
-    // higher wire carries 0.
-    std::uint64_t bad = 0;
-    for (wire_t w = 0; w + 1 < n; ++w) bad |= words[w] & ~words[w + 1];
-    if (base + 64 > total) bad &= (total - base == 64)
-                                      ? ~0ull
-                                      : ((std::uint64_t{1} << (total - base)) - 1);
-    if (bad != 0) {
-      const std::uint64_t vec = base + static_cast<std::uint64_t>(
-                                           std::countr_zero(bad));
-      std::uint64_t expected = UINT64_MAX;
-      failing.compare_exchange_strong(expected, vec);
-    }
-  };
-
-  if (pool != nullptr) {
-    pool->parallel_for(0, static_cast<std::size_t>(batches), run_batch);
-  } else {
-    for (std::uint64_t batch = 0; batch < batches; ++batch)
-      run_batch(static_cast<std::size_t>(batch));
-  }
-
-  ZeroOneReport report;
-  report.vectors_checked = total;
-  const std::uint64_t f = failing.load();
-  if (f == UINT64_MAX) {
-    report.sorts_all = true;
-  } else {
-    report.sorts_all = false;
-    report.failing_vector = f;
-  }
-  return report;
-}
-
-}  // namespace
-
-ZeroOneReport zero_one_check(const ComparatorNetwork& net, ThreadPool* pool) {
-  return zero_one_check_impl(net, pool);
-}
-
-ZeroOneReport zero_one_check(const RegisterNetwork& net, ThreadPool* pool) {
-  return zero_one_check_impl(net, pool);
-}
-
-namespace {
-
-template <typename Net>
-RelabelReport relabel_impl(const Net& net) {
-  const wire_t n = net.width();
-  if (n > 24)
-    throw std::invalid_argument(
-        "zero_one_check_up_to_relabel: n too large for 2^n sweep");
-  const std::uint64_t total = std::uint64_t{1} << n;
-  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
-  std::vector<std::uint32_t> expected(n + 1, kUnset);
-
-  for (std::uint64_t base = 0; base < total; base += 64) {
-    const std::uint64_t batch = std::min<std::uint64_t>(64, total - base);
-    std::vector<std::uint64_t> words(n, 0);
-    for (wire_t w = 0; w < n; ++w) {
-      std::uint64_t word = 0;
-      for (std::uint64_t s = 0; s < batch; ++s)
-        word |= ((base + s) >> w & 1ull) << s;
-      words[w] = word;
-    }
-    evaluate_packed(net, words);
-    for (std::uint64_t s = 0; s < batch; ++s) {
-      const auto weight =
-          static_cast<std::size_t>(std::popcount(base + s));
-      std::uint32_t out = 0;
-      for (wire_t w = 0; w < n; ++w)
-        out |= static_cast<std::uint32_t>(words[w] >> s & 1ull) << w;
-      if (expected[weight] == kUnset) {
-        expected[weight] = out;
-      } else if (expected[weight] != out) {
-        return RelabelReport{};  // two inputs of equal weight diverge
-      }
-    }
-  }
-  // The outputs must form a nested chain gaining one position per weight;
-  // the position gained between weight k and k+1 receives rank n-1-k.
-  std::vector<wire_t> ranks(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::uint32_t gained = expected[k + 1] & ~expected[k];
-    if ((expected[k] & ~expected[k + 1]) != 0 || std::popcount(gained) != 1)
-      return RelabelReport{};
-    const auto wire = static_cast<wire_t>(std::countr_zero(gained));
-    ranks[wire] = static_cast<wire_t>(n - 1 - k);
-  }
-  RelabelReport report;
-  report.sorts = true;
-  report.ranks = Permutation(std::move(ranks));
-  return report;
-}
-
-}  // namespace
-
-RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net) {
-  return relabel_impl(net);
-}
-
-RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net) {
-  return relabel_impl(net);
-}
-
-bool is_sorting_network(const ComparatorNetwork& net, ThreadPool* pool) {
-  return zero_one_check(net, pool).sorts_all;
-}
-
-bool is_sorting_network(const RegisterNetwork& net, ThreadPool* pool) {
-  return zero_one_check(net, pool).sorts_all;
 }
 
 }  // namespace shufflebound

@@ -1,20 +1,24 @@
-// Bit-parallel 0-1 evaluation: 64 boolean test vectors per machine word.
+// Bit-parallel 0-1 evaluation, scalar reference kernel: 64 boolean test
+// vectors per machine word.
 //
 // By the 0-1 principle, a comparator circuit sorts every input iff it
 // sorts every vector in {0,1}^n. On 0/1 values a comparator is just
 // (AND, OR) on the packed words, so one pass over the gates evaluates 64
-// vectors at once. Exhaustively checking all 2^n vectors becomes feasible
-// well past the sizes where permutation enumeration gives out - this is
-// the library's exact sortedness certifier.
+// vectors at once.
+//
+// This header holds the REFERENCE implementation: a direct walk of the
+// network structure, kept deliberately simple so the optimized engine
+// can be checked against it. The production certifier - wide SIMD
+// lanes over a level-compiled op table, thread-pool tiling - lives in
+// sim/bitparallel.hpp / sim/compiled_net.hpp; the differential suite
+// (tests/test_simd.cpp) holds both to bit-for-bit agreement.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "core/comparator_network.hpp"
 #include "core/register_network.hpp"
-#include "util/thread_pool.hpp"
 
 namespace shufflebound {
 
@@ -23,45 +27,8 @@ namespace shufflebound {
 void evaluate_packed(const ComparatorNetwork& net,
                      std::vector<std::uint64_t>& words);
 
-/// Same for the register model.
+/// Same for the register model (words end up in register order).
 void evaluate_packed(const RegisterNetwork& net,
                      std::vector<std::uint64_t>& words);
-
-/// Result of an exhaustive 0-1 check.
-struct ZeroOneReport {
-  bool sorts_all = false;
-  /// If not: a witness 0/1 input vector (bit w = value fed to wire w).
-  std::optional<std::uint64_t> failing_vector;
-  std::uint64_t vectors_checked = 0;
-};
-
-/// Exhaustively checks all 2^n 0/1 vectors (n <= 30 enforced). Pass a pool
-/// to parallelize over vector batches. For the register model the output
-/// is checked in register order (sorted register contents), matching the
-/// convention that shuffle-compiled sorters finish in register order.
-ZeroOneReport zero_one_check(const ComparatorNetwork& net,
-                             ThreadPool* pool = nullptr);
-ZeroOneReport zero_one_check(const RegisterNetwork& net,
-                             ThreadPool* pool = nullptr);
-
-/// Convenience wrapper: true iff the network sorts everything.
-bool is_sorting_network(const ComparatorNetwork& net, ThreadPool* pool = nullptr);
-bool is_sorting_network(const RegisterNetwork& net, ThreadPool* pool = nullptr);
-
-/// The paper's general definition: a comparator network is a sorting
-/// network iff it maps every input to the SAME output permutation - the
-/// output rank assignment need not be the identity (flattening a
-/// register-model sorter to the circuit model leaves a fixed wire
-/// permutation at the end, for example). Checks, over all 2^n 0-1
-/// vectors, that every weight class maps to a single output and that the
-/// outputs form a nested chain; on success returns `ranks` with
-/// ranks[w] = final rank of wire w (ranks == identity iff the strict
-/// check would also pass).
-struct RelabelReport {
-  bool sorts = false;
-  std::optional<Permutation> ranks;
-};
-RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net);
-RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net);
 
 }  // namespace shufflebound

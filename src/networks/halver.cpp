@@ -5,7 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "sim/bitparallel.hpp"
+#include "core/bitparallel.hpp"
 #include "util/bits.hpp"
 
 namespace shufflebound {

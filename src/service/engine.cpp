@@ -7,9 +7,11 @@
 #include "adversary/certificate.hpp"
 #include "adversary/refuter.hpp"
 #include "analysis/sortedness.hpp"
-#include "core/bitparallel.hpp"
 #include "lint/linter.hpp"
 #include "sim/batch.hpp"
+#include "sim/bitparallel.hpp"
+#include "sim/compiled_net.hpp"
+#include "sim/simd.hpp"
 #include "util/bits.hpp"
 #include "util/prng.hpp"
 
@@ -80,29 +82,31 @@ JsonValue info_payload(const ParsedNetwork& net) {
 
 // ------------------------------------------------------------- certify --
 
-/// Deadline-aware strict 0-1 sweep (single-threaded: job-level parallelism
-/// lives across jobs, which keeps the first failing vector deterministic).
-template <typename Net>
-std::optional<std::uint64_t> strict_sweep(const Net& net,
+/// Deadline-aware strict 0-1 sweep on the compiled kernel, one SIMD lane
+/// per step (single-threaded: job-level parallelism lives across jobs).
+/// Scans blocks in ascending order, so the return value is the MINIMAL
+/// failing vector - identical in every build (wide or forced-scalar).
+std::optional<std::uint64_t> strict_sweep(const CompiledNetwork& net,
                                           Clock::time_point deadline) {
   const wire_t n = net.width();
   const std::uint64_t total = std::uint64_t{1} << n;
-  std::vector<std::uint64_t> words(n, 0);
-  for (std::uint64_t base = 0; base < total; base += 64) {
+  const std::span<const wire_t> order = net.output_order();
+  std::vector<simd::Lane> words(n);
+  for (std::uint64_t base = 0; base < total; base += simd::kLaneBits) {
     if ((base & 0xFFFFull) == 0) check_deadline(deadline);
-    for (wire_t w = 0; w < n; ++w) {
-      std::uint64_t word = 0;
-      for (std::uint64_t s = 0; s < 64 && base + s < total; ++s)
-        word |= ((base + s) >> w & 1ull) << s;
-      words[w] = word;
+    for (wire_t w = 0; w < n; ++w) words[w] = simd::pattern_lane(w, base);
+    net.evaluate_packed(words.data());
+    simd::Lane bad = simd::lane_zero();
+    for (wire_t p = 0; p + 1 < n; ++p)
+      bad |= words[order[p]] & ~words[order[p + 1]];
+    bad &= simd::valid_mask_lane(base, total);
+    if (!simd::lane_any(bad)) continue;
+    for (std::size_t j = 0; j < simd::kLaneWords; ++j) {
+      const std::uint64_t word = simd::lane_word(bad, j);
+      if (word != 0)
+        return base + 64 * j +
+               static_cast<std::uint64_t>(std::countr_zero(word));
     }
-    evaluate_packed(net, words);
-    std::uint64_t bad = 0;
-    for (wire_t w = 0; w + 1 < n; ++w) bad |= words[w] & ~words[w + 1];
-    if (base + 64 > total && total - base != 64)
-      bad &= (std::uint64_t{1} << (total - base)) - 1;
-    if (bad != 0)
-      return base + static_cast<std::uint64_t>(std::countr_zero(bad));
   }
   return std::nullopt;
 }
@@ -112,7 +116,8 @@ JsonValue certify_payload(const Net& net, Clock::time_point deadline) {
   const wire_t n = net.width();
   if (n > 24)
     throw std::invalid_argument("certify: exhaustive sweep limited to n <= 24");
-  const std::optional<std::uint64_t> failing = strict_sweep(net, deadline);
+  const std::optional<std::uint64_t> failing =
+      strict_sweep(compile(net), deadline);
   JsonValue payload = JsonValue::object();
   if (!failing) {
     payload.set("verdict", "sorting");
@@ -138,6 +143,10 @@ JsonValue certify_payload(const Net& net, Clock::time_point deadline) {
 template <typename Net>
 JsonValue count_sorted_payload(const Net& net, const JobSpec& spec,
                                Clock::time_point deadline) {
+  // One compile amortized over every trial; apply() reuses the buffers.
+  const CompiledNetwork compiled = compile(net);
+  std::vector<wire_t> values;
+  std::vector<wire_t> scratch;
   std::size_t sorted = 0;
   for (std::size_t index = 0; index < spec.trials; ++index) {
     if ((index & 1023u) == 0) check_deadline(deadline);
@@ -146,8 +155,10 @@ JsonValue count_sorted_payload(const Net& net, const JobSpec& spec,
     // simulator's for the same (trials, seed) at any concurrency.
     std::uint64_t mix = spec.seed ^ (0xA0761D6478BD642Full * (index + 1));
     Prng rng(splitmix64(mix));
-    const Permutation input = random_permutation(net.width(), rng);
-    if (is_sorted_output(run_input(net, input))) ++sorted;
+    const Permutation input = random_permutation(compiled.width(), rng);
+    values.assign(input.image().begin(), input.image().end());
+    compiled.apply(values, scratch);
+    if (is_sorted_output(values)) ++sorted;
   }
   JsonValue payload = JsonValue::object();
   payload.set("trials", static_cast<std::uint64_t>(spec.trials));
@@ -234,11 +245,13 @@ bool revalidate_refutation(const ParsedNetwork& net,
     w.w0 = static_cast<wire_t>(w0->as_uint());
     w.w1 = static_cast<wire_t>(w1->as_uint());
     w.m = static_cast<wire_t>(m->as_uint());
-    const WitnessCheck check =
-        net.iterated_form   ? check_witness(*net.iterated_form, w)
-        : net.register_form ? check_witness(*net.register_form, w)
-                            : check_witness(net.circuit, w);
-    return check.refutes_sorting();
+    // Replay on the compiled kernel - the evaluator actually serving
+    // this engine's certify/count paths.
+    const CompiledNetwork compiled =
+        net.iterated_form   ? compile(*net.iterated_form)
+        : net.register_form ? compile(*net.register_form)
+                            : compile(net.circuit);
+    return check_witness(compiled, w).refutes_sorting();
   } catch (const std::exception&) {
     return false;
   }

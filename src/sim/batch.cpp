@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "sim/compiled_net.hpp"
+
 namespace shufflebound {
 
 bool is_sorted_output(std::span<const wire_t> values) {
@@ -27,14 +29,15 @@ namespace {
 template <typename Net>
 std::size_t count_sorted_impl(BatchEvaluator& self, const Net& net,
                               std::size_t trials, std::uint64_t seed) {
-  return self.count_trials(trials, seed, [&net](Prng& rng, std::size_t) {
-    Permutation input = random_permutation(net.width(), rng);
+  // Compile once; the op table is shared read-only by every worker.
+  // Per-trial buffers are locals, so the lambda stays safe to invoke
+  // concurrently and the count stays a function of (trials, seed) only.
+  const CompiledNetwork compiled = compile(net);
+  return self.count_trials(trials, seed, [&compiled](Prng& rng, std::size_t) {
+    Permutation input = random_permutation(compiled.width(), rng);
     std::vector<wire_t> values(input.image().begin(), input.image().end());
-    if constexpr (std::is_same_v<Net, ComparatorNetwork>) {
-      net.evaluate_in_place(std::span<wire_t>(values));
-    } else {
-      net.evaluate_in_place(values);
-    }
+    std::vector<wire_t> scratch;
+    compiled.apply(values, scratch);
     return is_sorted_output(values);
   });
 }

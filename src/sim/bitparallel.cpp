@@ -1,0 +1,171 @@
+#include "sim/bitparallel.hpp"
+
+#include <atomic>
+#include <bit>
+#include <stdexcept>
+
+#include "sim/simd.hpp"
+
+namespace shufflebound {
+
+namespace {
+
+/// Lowers `candidate` into the atomic minimum. CAS loop (fetch_min is
+/// C++26); the final value is the exact minimum over all contributions,
+/// which is what makes the parallel sweep deterministic.
+void atomic_min(std::atomic<std::uint64_t>& current, std::uint64_t candidate) {
+  std::uint64_t observed = current.load(std::memory_order_relaxed);
+  while (candidate < observed &&
+         !current.compare_exchange_weak(observed, candidate,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Evaluates one lane-sized block of test vectors starting at `base`
+/// (a multiple of 64) and reports the minimal failing vector in it.
+std::optional<std::uint64_t> sweep_block(const CompiledNetwork& net,
+                                         std::uint64_t base,
+                                         std::uint64_t total,
+                                         simd::Lane* words) {
+  const wire_t n = net.width();
+  for (wire_t w = 0; w < n; ++w) words[w] = simd::pattern_lane(w, base);
+  net.evaluate_packed(words);
+  // Sorted ascending means 0s then 1s: no output position may carry 1
+  // while a later position carries 0.
+  const std::span<const wire_t> order = net.output_order();
+  simd::Lane bad = simd::lane_zero();
+  for (wire_t p = 0; p + 1 < n; ++p)
+    bad = bad | (words[order[p]] & ~words[order[p + 1]]);
+  if (base + simd::kLaneBits > total)
+    bad = bad & simd::valid_mask_lane(base, total);
+  if (!simd::lane_any(bad)) return std::nullopt;
+  for (std::size_t j = 0; j < simd::kLaneWords; ++j) {
+    const std::uint64_t word = simd::lane_word(bad, j);
+    if (word != 0)
+      return base + 64 * j +
+             static_cast<std::uint64_t>(std::countr_zero(word));
+  }
+  return std::nullopt;  // unreachable: lane_any said otherwise
+}
+
+}  // namespace
+
+ZeroOneReport zero_one_check(const CompiledNetwork& net, ThreadPool* pool) {
+  const wire_t n = net.width();
+  if (n > 30)
+    throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
+  const std::uint64_t total = std::uint64_t{1} << n;
+  const std::uint64_t blocks =
+      (total + simd::kLaneBits - 1) / simd::kLaneBits;
+
+  std::atomic<std::uint64_t> first_failing{UINT64_MAX};
+  const auto run_block = [&](std::size_t block) {
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(block) * simd::kLaneBits;
+    // Prune blocks that cannot lower the minimum: every vector in this
+    // block is >= base, so skipping preserves the exact result.
+    if (base >= first_failing.load(std::memory_order_relaxed)) return;
+    simd::Lane words[32];
+    if (const auto failing = sweep_block(net, base, total, words))
+      atomic_min(first_failing, *failing);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, static_cast<std::size_t>(blocks), run_block);
+  } else {
+    for (std::uint64_t block = 0; block < blocks; ++block)
+      run_block(static_cast<std::size_t>(block));
+  }
+
+  ZeroOneReport report;
+  report.vectors_checked = total;
+  const std::uint64_t f = first_failing.load();
+  if (f == UINT64_MAX) {
+    report.sorts_all = true;
+  } else {
+    report.sorts_all = false;
+    report.failing_vector = f;
+  }
+  return report;
+}
+
+ZeroOneReport zero_one_check(const ComparatorNetwork& net, ThreadPool* pool) {
+  if (net.width() > 30)
+    throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
+  return zero_one_check(compile(net), pool);
+}
+
+ZeroOneReport zero_one_check(const RegisterNetwork& net, ThreadPool* pool) {
+  if (net.width() > 30)
+    throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
+  return zero_one_check(compile(net), pool);
+}
+
+bool is_sorting_network(const ComparatorNetwork& net, ThreadPool* pool) {
+  return zero_one_check(net, pool).sorts_all;
+}
+
+bool is_sorting_network(const RegisterNetwork& net, ThreadPool* pool) {
+  return zero_one_check(net, pool).sorts_all;
+}
+
+namespace {
+
+template <typename Net>
+RelabelReport relabel_impl(const Net& net) {
+  const wire_t n = net.width();
+  if (n > 24)
+    throw std::invalid_argument(
+        "zero_one_check_up_to_relabel: n too large for 2^n sweep");
+  const std::uint64_t total = std::uint64_t{1} << n;
+  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> expected(n + 1, kUnset);
+
+  // Per-vector output extraction dominates here, so the plain 64-wide
+  // scalar reference kernel is the right tool; the compiled engine buys
+  // nothing for this sweep.
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    const std::uint64_t batch = std::min<std::uint64_t>(64, total - base);
+    std::vector<std::uint64_t> words(n, 0);
+    for (wire_t w = 0; w < n; ++w) words[w] = simd::pattern_word(w, base);
+    evaluate_packed(net, words);
+    for (std::uint64_t s = 0; s < batch; ++s) {
+      const auto weight =
+          static_cast<std::size_t>(std::popcount(base + s));
+      std::uint32_t out = 0;
+      for (wire_t w = 0; w < n; ++w)
+        out |= static_cast<std::uint32_t>(words[w] >> s & 1ull) << w;
+      if (expected[weight] == kUnset) {
+        expected[weight] = out;
+      } else if (expected[weight] != out) {
+        return RelabelReport{};  // two inputs of equal weight diverge
+      }
+    }
+  }
+  // The outputs must form a nested chain gaining one position per weight;
+  // the position gained between weight k and k+1 receives rank n-1-k.
+  std::vector<wire_t> ranks(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t gained = expected[k + 1] & ~expected[k];
+    if ((expected[k] & ~expected[k + 1]) != 0 || std::popcount(gained) != 1)
+      return RelabelReport{};
+    const auto wire = static_cast<wire_t>(std::countr_zero(gained));
+    ranks[wire] = static_cast<wire_t>(n - 1 - k);
+  }
+  RelabelReport report;
+  report.sorts = true;
+  report.ranks = Permutation(std::move(ranks));
+  return report;
+}
+
+}  // namespace
+
+RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net) {
+  return relabel_impl(net);
+}
+
+RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net) {
+  return relabel_impl(net);
+}
+
+}  // namespace shufflebound

@@ -1,6 +1,76 @@
-// Forwarding header: the bit-parallel evaluator lives in core (it only
-// needs the network types), but is conceptually part of the simulator
-// suite; both include paths work.
+// Exhaustive 0-1 certification on the wide-lane kernel engine.
+//
+// By the 0-1 principle, a comparator circuit sorts every input iff it
+// sorts every vector in {0,1}^n. On 0/1 values a comparator is AND/OR
+// on packed words, so one kernel pass evaluates simd::kLaneBits test
+// vectors at once (256 in the wide build, 64 in the scalar fallback).
+// The network is compiled once (sim/compiled_net.hpp) and the op table
+// is shared read-only across all vector blocks and worker threads.
+//
+// Determinism contract: the reported failing vector is always the
+// MINIMAL failing 0/1 vector, independent of lane width, thread count,
+// and scheduling - a parallel sweep prunes only blocks whose entire
+// index range lies above the current minimum, which cannot change the
+// result. The scalar reference kernel lives in core/bitparallel.hpp;
+// tests/test_simd.cpp holds all paths to bit-for-bit agreement.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "core/bitparallel.hpp"
+#include "core/comparator_network.hpp"
+#include "core/register_network.hpp"
+#include "sim/compiled_net.hpp"
+#include "util/thread_pool.hpp"
+
+namespace shufflebound {
+
+/// Result of an exhaustive 0-1 check.
+struct ZeroOneReport {
+  bool sorts_all = false;
+  /// If not: the minimal witness 0/1 input vector (bit w = value fed to
+  /// wire w).
+  std::optional<std::uint64_t> failing_vector;
+  std::uint64_t vectors_checked = 0;
+};
+
+/// Exhaustively checks all 2^n 0/1 vectors (n <= 30 enforced). Pass a
+/// pool to tile vector blocks over its workers. For the register model
+/// the output is checked in register order (sorted register contents),
+/// matching the convention that shuffle-compiled sorters finish in
+/// register order.
+ZeroOneReport zero_one_check(const ComparatorNetwork& net,
+                             ThreadPool* pool = nullptr);
+ZeroOneReport zero_one_check(const RegisterNetwork& net,
+                             ThreadPool* pool = nullptr);
+
+/// The compiled-reuse entry point: sweep a pre-compiled network without
+/// paying compilation again (batch certification, benches).
+ZeroOneReport zero_one_check(const CompiledNetwork& net,
+                             ThreadPool* pool = nullptr);
+
+/// Convenience wrapper: true iff the network sorts everything.
+bool is_sorting_network(const ComparatorNetwork& net,
+                        ThreadPool* pool = nullptr);
+bool is_sorting_network(const RegisterNetwork& net,
+                        ThreadPool* pool = nullptr);
+
+/// The paper's general definition: a comparator network is a sorting
+/// network iff it maps every input to the SAME output permutation - the
+/// output rank assignment need not be the identity (flattening a
+/// register-model sorter to the circuit model leaves a fixed wire
+/// permutation at the end, for example). Checks, over all 2^n 0-1
+/// vectors, that every weight class maps to a single output and that the
+/// outputs form a nested chain; on success returns `ranks` with
+/// ranks[w] = final rank of wire w (ranks == identity iff the strict
+/// check would also pass).
+struct RelabelReport {
+  bool sorts = false;
+  std::optional<Permutation> ranks;
+};
+RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net);
+RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net);
+
+}  // namespace shufflebound

@@ -1,0 +1,136 @@
+#include "sim/compiled_net.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace shufflebound {
+
+void CompiledNetwork::reorder(std::vector<wire_t>& values,
+                              std::vector<wire_t>& scratch) const {
+  scratch.resize(values.size());
+  for (std::size_t p = 0; p < output_order_.size(); ++p)
+    scratch[p] = values[output_order_[p]];
+  values.swap(scratch);
+}
+
+void CompiledNetwork::apply(std::vector<wire_t>& values,
+                            std::vector<wire_t>& scratch) const {
+  if (values.size() != width_)
+    throw std::invalid_argument("CompiledNetwork::apply: width mismatch");
+  const std::uint32_t* mins = min_slot_.data();
+  const std::uint32_t* maxs = max_slot_.data();
+  wire_t* v = values.data();
+  const std::size_t ops = min_slot_.size();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const wire_t a = v[mins[i]];
+    const wire_t b = v[maxs[i]];
+    v[mins[i]] = a < b ? a : b;
+    v[maxs[i]] = a < b ? b : a;
+  }
+  reorder(values, scratch);
+}
+
+/// Assembler for the compiled form. The single invariant throughout:
+/// the value the SOURCE network currently holds on line w (circuit
+/// wire / register / iterated slot) lives in compiled slot slot_of[w].
+/// Comparators emit an op against the current slots; exchanges and
+/// permutation steps only permute slot_of.
+class NetworkCompiler {
+ public:
+  explicit NetworkCompiler(wire_t width) : slot_of_(width) {
+    out_.width_ = width;
+    std::iota(slot_of_.begin(), slot_of_.end(), 0u);
+    out_.level_offsets_.push_back(0);
+  }
+
+  void begin_level() {}
+
+  void end_level() {
+    out_.level_offsets_.push_back(
+        static_cast<std::uint32_t>(out_.min_slot_.size()));
+  }
+
+  /// A gate of the current level acting on source lines (a, b) - for a
+  /// comparator, min goes to `a` under CompareAsc and to `b` under
+  /// CompareDesc (endpoints already normalized a < b by Gate).
+  void add_gate(wire_t a, wire_t b, GateOp op) {
+    switch (op) {
+      case GateOp::CompareAsc:
+        emit(slot_of_[a], slot_of_[b]);
+        break;
+      case GateOp::CompareDesc:
+        emit(slot_of_[b], slot_of_[a]);
+        break;
+      case GateOp::Exchange:
+        std::swap(slot_of_[a], slot_of_[b]);
+        break;
+      case GateOp::Passthrough:
+        break;
+    }
+  }
+
+  /// A free permutation between levels: source line j's value moves to
+  /// line perm(j).
+  void apply_permutation(const Permutation& perm) {
+    std::vector<std::uint32_t> next(slot_of_.size());
+    for (std::size_t j = 0; j < slot_of_.size(); ++j)
+      next[perm[static_cast<wire_t>(j)]] = slot_of_[j];
+    slot_of_.swap(next);
+  }
+
+  CompiledNetwork finish() {
+    out_.output_order_.assign(slot_of_.begin(), slot_of_.end());
+    return std::move(out_);
+  }
+
+ private:
+  void emit(std::uint32_t min_slot, std::uint32_t max_slot) {
+    out_.min_slot_.push_back(min_slot);
+    out_.max_slot_.push_back(max_slot);
+    out_.op_level_.push_back(
+        static_cast<std::uint32_t>(out_.level_offsets_.size() - 1));
+  }
+
+  CompiledNetwork out_;
+  std::vector<std::uint32_t> slot_of_;
+};
+
+CompiledNetwork compile(const ComparatorNetwork& net) {
+  NetworkCompiler compiler(net.width());
+  for (const Level& level : net.levels()) {
+    compiler.begin_level();
+    for (const Gate& g : level.gates) compiler.add_gate(g.lo, g.hi, g.op);
+    compiler.end_level();
+  }
+  return compiler.finish();
+}
+
+CompiledNetwork compile(const RegisterNetwork& net) {
+  NetworkCompiler compiler(net.width());
+  for (const RegisterStep& step : net.steps()) {
+    compiler.begin_level();
+    compiler.apply_permutation(step.perm);
+    for (std::size_t k = 0; 2 * k + 1 < net.width(); ++k) {
+      compiler.add_gate(static_cast<wire_t>(2 * k),
+                        static_cast<wire_t>(2 * k + 1), step.ops[k]);
+    }
+    compiler.end_level();
+  }
+  return compiler.finish();
+}
+
+CompiledNetwork compile(const IteratedRdn& net) {
+  NetworkCompiler compiler(net.width());
+  for (const IteratedRdn::Stage& stage : net.stages()) {
+    compiler.apply_permutation(stage.pre);
+    for (const Level& level : stage.chunk.net.levels()) {
+      compiler.begin_level();
+      for (const Gate& g : level.gates) compiler.add_gate(g.lo, g.hi, g.op);
+      compiler.end_level();
+    }
+  }
+  return compiler.finish();
+}
+
+}  // namespace shufflebound

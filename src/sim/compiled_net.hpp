@@ -1,0 +1,144 @@
+// Level-compiled network representation: the shared substrate of the
+// wide-lane kernel engine.
+//
+// Every network model in the library (circuit, register, iterated RDN)
+// evaluates by walking its own structure - gate lists behind a level
+// vector, permutation steps, stage chunks - and branching on the gate
+// op per element. That walk is pure overhead on the certification hot
+// path, where the same network is evaluated on millions of inputs.
+//
+// compile() flattens a network ONCE into a structure-of-arrays op
+// table that every later evaluation replays:
+//
+//  * Exchange ("1") elements and the register model's permutation
+//    steps are data movement, not computation. The compiler tracks
+//    them symbolically in a slot indirection while emitting ops, so
+//    the compiled program contains ONLY comparators and the evaluation
+//    loop moves no data at all. A final `output_order` permutation
+//    records where each output position's value ends up.
+//  * Descending comparators are normalized away: each op stores the
+//    slot that receives the minimum and the slot that receives the
+//    maximum, making the inner loop a single branch-free form
+//    (AND/OR on packed 0/1 words, min/max on integer values).
+//  * Ops are stored as parallel arrays (min_slot[], max_slot[]) grouped
+//    by level (level_offsets), shared read-only across any number of
+//    concurrent evaluations.
+//
+// Determinism contract: a compiled network is a pure function of the
+// source network; evaluation touches no global state, so all engine
+// results built on it remain a function of (network, inputs) alone,
+// independent of lane width, thread count, and build flags. The
+// differential suite in tests/test_simd.cpp holds the scalar reference
+// kernel, the scalar compiled path, and the wide compiled path to
+// bit-for-bit agreement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/comparator_network.hpp"
+#include "core/register_network.hpp"
+#include "networks/rdn.hpp"
+
+namespace shufflebound {
+
+class CompiledNetwork {
+ public:
+  CompiledNetwork() = default;
+
+  wire_t width() const noexcept { return width_; }
+  /// Comparator ops in the compiled program (exchanges are elided).
+  std::size_t op_count() const noexcept { return min_slot_.size(); }
+  /// Source levels/steps (including empty ones), for stats and replay.
+  std::size_t level_count() const noexcept {
+    return level_offsets_.empty() ? 0 : level_offsets_.size() - 1;
+  }
+  /// output_order()[p] = slot holding output position p (wire p in the
+  /// circuit model, register p in the register model, final slot p for
+  /// an iterated RDN).
+  std::span<const wire_t> output_order() const noexcept {
+    return output_order_;
+  }
+
+  /// Packed 0/1 kernel: words[slot] holds one packed bit per test
+  /// vector for the value starting in slot (= wire/register) `slot`.
+  /// W is simd::Lane or std::uint64_t - anything with &, |, assignment.
+  /// `words` must hold width() entries; outputs stay slot-indexed (read
+  /// them through output_order()).
+  template <typename W>
+  void evaluate_packed(W* words) const {
+    const std::uint32_t* mins = min_slot_.data();
+    const std::uint32_t* maxs = max_slot_.data();
+    const std::size_t ops = min_slot_.size();
+    for (std::size_t i = 0; i < ops; ++i) {
+      const W a = words[mins[i]];
+      const W b = words[maxs[i]];
+      words[mins[i]] = a & b;
+      words[maxs[i]] = a | b;
+    }
+  }
+
+  /// Integer kernel: evaluates the network on `values` (values[i] =
+  /// input to wire/register i) and leaves the outputs IN OUTPUT ORDER
+  /// (values[p] = output position p), using `scratch` for the final
+  /// reorder. Comparators act as branchless min/max, which matches the
+  /// models' evaluators exactly on integer values (ties carry no
+  /// identity; the compiled path is not for pattern-symbol evaluation).
+  void apply(std::vector<wire_t>& values, std::vector<wire_t>& scratch) const;
+
+  /// Same, invoking observer.on_compare(level, gate, a, b) for every
+  /// comparator with the pre-op values - the instrumented replay behind
+  /// witness checking. The Gate argument carries the compiled slot pair
+  /// (not source wires); value-based observers like ComparisonRecorder
+  /// see exactly the comparisons the source network performs.
+  template <typename Observer>
+  void apply_with_observer(std::vector<wire_t>& values,
+                           std::vector<wire_t>& scratch,
+                           Observer&& observer) const {
+    run_ops_observed(values, observer);
+    reorder(values, scratch);
+  }
+
+ private:
+  template <typename Observer>
+  void run_ops_observed(std::vector<wire_t>& values,
+                        Observer&& observer) const {
+    for (std::size_t i = 0; i < min_slot_.size(); ++i) {
+      const std::uint32_t mn = min_slot_[i];
+      const std::uint32_t mx = max_slot_[i];
+      const wire_t a = values[mn];
+      const wire_t b = values[mx];
+      observer.on_compare(op_level_[i], Gate(mn, mx, GateOp::CompareAsc), a,
+                          b);
+      values[mn] = a < b ? a : b;
+      values[mx] = a < b ? b : a;
+    }
+  }
+
+  void reorder(std::vector<wire_t>& values,
+               std::vector<wire_t>& scratch) const;
+
+  friend class NetworkCompiler;
+
+  wire_t width_ = 0;
+  std::vector<std::uint32_t> min_slot_;       // op i: slot receiving min
+  std::vector<std::uint32_t> max_slot_;       // op i: slot receiving max
+  std::vector<std::uint32_t> op_level_;       // op i: source level/step
+  std::vector<std::uint32_t> level_offsets_;  // ops of level l: [l, l+1)
+  std::vector<wire_t> output_order_;
+};
+
+/// Compiles a circuit network. Output order is wire order (non-identity
+/// only when the circuit contains Exchange gates, which are elided).
+CompiledNetwork compile(const ComparatorNetwork& net);
+
+/// Compiles a register network. Permutation steps are absorbed into the
+/// slot indirection; output order is register order.
+CompiledNetwork compile(const RegisterNetwork& net);
+
+/// Compiles an iterated RDN. Stage pre-permutations are absorbed;
+/// output order is final slot order.
+CompiledNetwork compile(const IteratedRdn& net);
+
+}  // namespace shufflebound

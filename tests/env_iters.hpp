@@ -1,0 +1,27 @@
+// Iteration budget for the randomized suites (test_fuzz,
+// test_property_sweeps). Per-push CI runs at the base budget; the
+// nightly workflow sets SHUFFLEBOUND_FUZZ_ITERS to multiply every
+// round/trial count for a deep soak. Clamped to [1, 1000] so a typo in
+// the env can neither disable the suite nor hang it.
+#pragma once
+
+#include <cstdlib>
+
+namespace shufflebound::testenv {
+
+inline int iters_multiplier() {
+  static const int cached = [] {
+    const char* env = std::getenv("SHUFFLEBOUND_FUZZ_ITERS");
+    if (env == nullptr) return 1;
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed < 1) return 1;
+    if (parsed > 1000) return 1000;
+    return static_cast<int>(parsed);
+  }();
+  return cached;
+}
+
+/// base iterations at 1x, scaled by SHUFFLEBOUND_FUZZ_ITERS.
+inline int scaled(int base) { return base * iters_multiplier(); }
+
+}  // namespace shufflebound::testenv

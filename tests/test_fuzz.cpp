@@ -6,6 +6,7 @@
 #include "adversary/certificate.hpp"
 #include "adversary/refuter.hpp"
 #include "core/io.hpp"
+#include "env_iters.hpp"
 #include "networks/rdn_io.hpp"
 #include "networks/batcher.hpp"
 #include "networks/shuffle.hpp"
@@ -57,7 +58,7 @@ void fuzz_parser(const std::string& seed_text, ParseFn parse, int rounds,
 TEST(Fuzz, CircuitParserSurvivesCorruption) {
   const std::string seed_text = to_text(bitonic_sorting_network(8));
   fuzz_parser(seed_text,
-              [](const std::string& t) { (void)circuit_from_text(t); }, 500,
+              [](const std::string& t) { (void)circuit_from_text(t); }, testenv::scaled(500),
               1);
 }
 
@@ -65,13 +66,13 @@ TEST(Fuzz, RegisterParserSurvivesCorruption) {
   Prng rng(2);
   const std::string seed_text = to_text(random_shuffle_network(8, 4, rng));
   fuzz_parser(seed_text,
-              [](const std::string& t) { (void)register_from_text(t); }, 500,
+              [](const std::string& t) { (void)register_from_text(t); }, testenv::scaled(500),
               3);
 }
 
 TEST(Fuzz, PatternParserSurvivesCorruption) {
   fuzz_parser("S0 M0 X1,2 M3 L0 L1",
-              [](const std::string& t) { (void)pattern_from_text(t); }, 500,
+              [](const std::string& t) { (void)pattern_from_text(t); }, testenv::scaled(500),
               4);
 }
 
@@ -83,7 +84,7 @@ TEST(Fuzz, CertificateParserSurvivesCorruption) {
   const std::string seed_text = to_text(*refutation.certificate);
   fuzz_parser(seed_text,
               [](const std::string& t) { (void)certificate_from_text(t); },
-              500, 6);
+              testenv::scaled(500), 6);
 }
 
 TEST(Fuzz, IteratedParserSurvivesCorruption) {
@@ -95,13 +96,13 @@ TEST(Fuzz, IteratedParserSurvivesCorruption) {
   net.add_stage({random_permutation(8, build), random_rdn(d, build, 10, 5)});
   const std::string seed_text = to_text(net);
   fuzz_parser(seed_text,
-              [](const std::string& t) { (void)iterated_from_text(t); }, 500,
+              [](const std::string& t) { (void)iterated_from_text(t); }, testenv::scaled(500),
               11);
 }
 
 TEST(Fuzz, RawGarbageRejectedEverywhere) {
   Prng rng(7);
-  for (int round = 0; round < 200; ++round) {
+  for (int round = 0; round < testenv::scaled(200); ++round) {
     std::string garbage(rng.below(120), '\0');
     for (auto& c : garbage) c = static_cast<char>(rng.below(256));
     EXPECT_THROW(
@@ -131,7 +132,7 @@ TEST(Fuzz, ParsedValidCircuitsStayValid) {
   // network invariants (disjoint levels etc.) - probed by evaluating.
   Prng rng(8);
   const std::string seed_text = to_text(odd_even_mergesort_network(8));
-  for (int round = 0; round < 300; ++round) {
+  for (int round = 0; round < testenv::scaled(300); ++round) {
     const std::string corrupted = mutate(seed_text, rng, 3);
     ComparatorNetwork net;
     try {

@@ -9,6 +9,7 @@
 #include "adversary/refuter.hpp"
 #include "analysis/sortedness.hpp"
 #include "core/io.hpp"
+#include "env_iters.hpp"
 #include "networks/batcher.hpp"
 #include "networks/classic.hpp"
 #include "networks/shuffle.hpp"
@@ -45,7 +46,7 @@ TEST_P(RandomNetworkSweep, RegisterCircuitRegisterRoundTrip) {
   const auto flat = register_to_circuit(reg);
   const auto back = circuit_to_register(flat.circuit);
   Prng rng(GetParam().seed + 1);
-  for (int trial = 0; trial < 3; ++trial) {
+  for (int trial = 0; trial < testenv::scaled(3); ++trial) {
     const auto input = random_permutation(reg.width(), rng);
     const auto a = reg.evaluate(std::vector<wire_t>(input.image().begin(),
                                                     input.image().end()));
@@ -218,7 +219,8 @@ TEST_P(OracleAgreementSweep, SampledNoncollisionNeverContradictsOracle) {
     if (set.size() < 2) continue;
     const bool exact = oracle.noncolliding(set);
     const bool sampled = noncolliding_under_all_linearizations_sample(
-        chunk.net, r.refined, set, sampler, 40);
+        chunk.net, r.refined, set, sampler,
+        static_cast<std::size_t>(testenv::scaled(40)));
     EXPECT_TRUE(exact);           // Lemma 4.1 property (2)
     EXPECT_TRUE(sampled);         // sampling must agree
   }

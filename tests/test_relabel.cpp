@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/search.hpp"
-#include "core/bitparallel.hpp"
+#include "sim/bitparallel.hpp"
 #include "networks/batcher.hpp"
 #include "networks/shuffle.hpp"
 #include "routing/benes.hpp"

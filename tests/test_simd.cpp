@@ -1,0 +1,329 @@
+// Differential suite for the wide-lane kernel engine: the scalar
+// reference kernel (core/bitparallel.hpp), the compiled scalar path and
+// the compiled wide path (sim/compiled_net.hpp + sim/simd.hpp) must
+// agree bit for bit on every network model, including the awkward
+// shapes - width 1, full 64-wire words, descending comparators, and
+// register networks that end in pure-exchange steps the compiler elides
+// entirely. Also pins the determinism contract of zero_one_check: the
+// minimal failing vector is identical with and without a thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "adversary/refuter.hpp"
+#include "adversary/witness.hpp"
+#include "core/bitparallel.hpp"
+#include "networks/classic.hpp"
+#include "networks/rdn.hpp"
+#include "networks/shuffle.hpp"
+#include "sim/bitparallel.hpp"
+#include "sim/compiled_net.hpp"
+#include "sim/simd.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace shufflebound {
+namespace {
+
+/// Random leveled circuit mixing ascending, descending and exchange
+/// elements on shuffled disjoint pairs, with some wires left idle.
+ComparatorNetwork random_mixed_circuit(wire_t n, std::size_t depth,
+                                       Prng& rng) {
+  ComparatorNetwork net(n);
+  std::vector<wire_t> wires(n);
+  for (std::size_t l = 0; l < depth; ++l) {
+    std::iota(wires.begin(), wires.end(), 0u);
+    shuffle_in_place(wires, rng);
+    Level level;
+    for (wire_t k = 0; 2 * k + 1 < n; ++k) {
+      if (rng.chance(1, 5)) continue;  // idle pair
+      static constexpr GateOp kOps[] = {GateOp::CompareAsc,
+                                        GateOp::CompareDesc, GateOp::Exchange};
+      level.gates.emplace_back(wires[2 * k], wires[2 * k + 1],
+                               kOps[rng.below(3)]);
+    }
+    net.add_level(std::move(level));
+  }
+  return net;
+}
+
+/// Minimal failing 0/1 vector by the reference kernel: per-bit input
+/// construction, 64 vectors per word, structure-walking evaluator.
+std::optional<std::uint64_t> reference_min_failing(
+    const ComparatorNetwork& net) {
+  const wire_t n = net.width();
+  const std::uint64_t total = std::uint64_t{1} << n;
+  std::vector<std::uint64_t> words(n);
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    for (wire_t w = 0; w < n; ++w) {
+      std::uint64_t word = 0;
+      for (std::uint64_t s = 0; s < 64; ++s)
+        word |= ((base + s) >> w & 1ull) << s;
+      words[w] = word;
+    }
+    evaluate_packed(net, words);
+    std::uint64_t bad = 0;
+    for (wire_t w = 0; w + 1 < n; ++w) bad |= words[w] & ~words[w + 1];
+    bad &= simd::valid_mask(base, total);
+    if (bad != 0)
+      return base + static_cast<std::uint64_t>(std::countr_zero(bad));
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------ lane helpers --
+
+TEST(SimdLane, WordRoundTripAndReductions) {
+  simd::Lane lane = simd::lane_zero();
+  EXPECT_FALSE(simd::lane_any(lane));
+  for (std::size_t j = 0; j < simd::kLaneWords; ++j) {
+    simd::lane_set_word(lane, j, 0x100ull + j);
+    EXPECT_EQ(simd::lane_word(lane, j), 0x100ull + j);
+  }
+  EXPECT_TRUE(simd::lane_any(lane));
+  const simd::Lane splat = simd::lane_splat(0xDEADBEEFull);
+  for (std::size_t j = 0; j < simd::kLaneWords; ++j)
+    EXPECT_EQ(simd::lane_word(splat, j), 0xDEADBEEFull);
+  EXPECT_EQ(simd::kLaneBits, simd::kLaneWords * 64);
+}
+
+TEST(SimdLane, PatternWordMatchesPerBitConstruction) {
+  for (const std::uint32_t w : {0u, 1u, 5u, 6u, 7u, 20u, 63u}) {
+    for (const std::uint64_t lo : {std::uint64_t{0}, std::uint64_t{64},
+                                   std::uint64_t{1} << 20,
+                                   (std::uint64_t{1} << 21) - 64}) {
+      std::uint64_t expect = 0;
+      for (std::uint64_t s = 0; s < 64; ++s)
+        expect |= ((lo + s) >> w & 1ull) << s;
+      EXPECT_EQ(simd::pattern_word(w, lo), expect) << "w=" << w << " lo=" << lo;
+    }
+  }
+}
+
+TEST(SimdLane, ValidMaskBoundaries) {
+  EXPECT_EQ(simd::valid_mask(0, 64), ~0ull);
+  EXPECT_EQ(simd::valid_mask(0, 1), 1ull);
+  EXPECT_EQ(simd::valid_mask(0, 63), (1ull << 63) - 1);
+  EXPECT_EQ(simd::valid_mask(64, 64), 0ull);
+  EXPECT_EQ(simd::valid_mask(128, 130), 3ull);
+  const simd::Lane lane = simd::valid_mask_lane(0, 65);
+  EXPECT_EQ(simd::lane_word(lane, 0), ~0ull);
+  if (simd::kLaneWords > 1) {
+    EXPECT_EQ(simd::lane_word(lane, 1), 1ull);
+  }
+}
+
+// ------------------------------------------- packed-kernel agreement --
+
+TEST(SimdDifferential, PackedKernelsAgreeOnRandomCircuits) {
+  // Scalar reference vs compiled scalar vs compiled wide, bit for bit,
+  // at a tiny width, an odd width, and the full 64-wire word boundary.
+  Prng rng(101);
+  for (const wire_t n : {2u, 5u, 64u}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const ComparatorNetwork net = random_mixed_circuit(n, 6, rng);
+      const CompiledNetwork compiled = compile(net);
+      const std::span<const wire_t> order = compiled.output_order();
+
+      // kLaneWords independent 64-vector blocks of random inputs.
+      std::vector<std::vector<std::uint64_t>> inputs(
+          simd::kLaneWords, std::vector<std::uint64_t>(n));
+      for (auto& block : inputs)
+        for (auto& word : block) word = rng();
+
+      // Reference outputs per block.
+      std::vector<std::vector<std::uint64_t>> expect = inputs;
+      for (auto& block : expect) evaluate_packed(net, block);
+
+      // Compiled scalar path, one block at a time.
+      for (std::size_t j = 0; j < simd::kLaneWords; ++j) {
+        std::vector<std::uint64_t> slots = inputs[j];
+        compiled.evaluate_packed(slots.data());
+        for (wire_t w = 0; w < n; ++w)
+          ASSERT_EQ(slots[order[w]], expect[j][w])
+              << "n=" << n << " rep=" << rep << " block=" << j
+              << " wire=" << w;
+      }
+
+      // Compiled wide path, all blocks in one lane.
+      std::vector<simd::Lane> lanes(n, simd::lane_zero());
+      for (wire_t w = 0; w < n; ++w)
+        for (std::size_t j = 0; j < simd::kLaneWords; ++j)
+          simd::lane_set_word(lanes[w], j, inputs[j][w]);
+      compiled.evaluate_packed(lanes.data());
+      for (wire_t w = 0; w < n; ++w)
+        for (std::size_t j = 0; j < simd::kLaneWords; ++j)
+          ASSERT_EQ(simd::lane_word(lanes[order[w]], j), expect[j][w])
+              << "n=" << n << " rep=" << rep << " block=" << j
+              << " wire=" << w;
+    }
+  }
+}
+
+TEST(SimdDifferential, CompiledApplyMatchesModelEvaluators) {
+  Prng rng(202);
+  // Circuit model (with exchanges, so output order is non-trivial).
+  for (int rep = 0; rep < 8; ++rep) {
+    const ComparatorNetwork net = random_mixed_circuit(16, 5, rng);
+    const CompiledNetwork compiled = compile(net);
+    const Permutation input = random_permutation(16, rng);
+    const auto expect = net.evaluate(
+        std::vector<wire_t>(input.image().begin(), input.image().end()));
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    std::vector<wire_t> scratch;
+    compiled.apply(values, scratch);
+    ASSERT_EQ(values, expect) << "circuit rep=" << rep;
+  }
+  // Register model.
+  for (int rep = 0; rep < 8; ++rep) {
+    const RegisterNetwork reg = random_shuffle_network(16, 5, rng, {15, 10});
+    const CompiledNetwork compiled = compile(reg);
+    const Permutation input = random_permutation(16, rng);
+    const auto expect = reg.evaluate(
+        std::vector<wire_t>(input.image().begin(), input.image().end()));
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    std::vector<wire_t> scratch;
+    compiled.apply(values, scratch);
+    ASSERT_EQ(values, expect) << "register rep=" << rep;
+  }
+  // Iterated RDN model.
+  for (int rep = 0; rep < 4; ++rep) {
+    IteratedRdn net(8);
+    net.add_stage({Permutation::identity(8), random_rdn(3, rng, 10, 5)});
+    net.add_stage({random_permutation(8, rng), random_rdn(3, rng, 10, 5)});
+    const CompiledNetwork compiled = compile(net);
+    const Permutation input = random_permutation(8, rng);
+    std::vector<wire_t> expect(input.image().begin(), input.image().end());
+    net.evaluate_in_place(expect);
+    std::vector<wire_t> values(input.image().begin(), input.image().end());
+    std::vector<wire_t> scratch;
+    compiled.apply(values, scratch);
+    ASSERT_EQ(values, expect) << "rdn rep=" << rep;
+  }
+}
+
+TEST(SimdDifferential, RegisterTrailingExchangesAllPermutations) {
+  // The compiler elides exchange ops and permutation steps into the
+  // slot indirection; steps that are PURE data movement at the very end
+  // of the network exercise exactly the output_order bookkeeping.
+  Prng rng(303);
+  RegisterNetwork net(6);
+  static constexpr GateOp kOps[] = {GateOp::CompareAsc, GateOp::CompareDesc,
+                                    GateOp::Exchange, GateOp::Passthrough};
+  for (int s = 0; s < 4; ++s) {
+    std::vector<GateOp> ops(3);
+    for (auto& op : ops) op = kOps[rng.below(4)];
+    net.add_step({random_permutation(6, rng), std::move(ops)});
+  }
+  for (int s = 0; s < 2; ++s)
+    net.add_step({random_permutation(6, rng),
+                  {GateOp::Exchange, GateOp::Exchange, GateOp::Exchange}});
+  const CompiledNetwork compiled = compile(net);
+  EXPECT_EQ(compiled.op_count(), net.comparator_count());
+
+  std::vector<wire_t> input(6);
+  std::iota(input.begin(), input.end(), 0u);
+  std::vector<wire_t> scratch;
+  do {
+    const auto expect = net.evaluate(input);
+    std::vector<wire_t> values = input;
+    compiled.apply(values, scratch);
+    ASSERT_EQ(values, expect);
+  } while (std::next_permutation(input.begin(), input.end()));
+}
+
+// ---------------------------------------------- zero_one_check engine --
+
+TEST(SimdZeroOne, MatchesScalarReferenceAtSmallWidths) {
+  // Exhaustive agreement on sorts_all AND the minimal failing vector,
+  // for widths straddling the 64-vector word size (n < 6 and n >= 6)
+  // on sorters, near-sorters, and random junk.
+  Prng rng(404);
+  for (wire_t n = 1; n <= 9; ++n) {
+    std::vector<ComparatorNetwork> cases;
+    cases.push_back(brick_sorter(n));
+    cases.push_back(random_mixed_circuit(n, 2, rng));
+    cases.push_back(random_mixed_circuit(n, n, rng));
+    if (n >= 3) {
+      // Near-sorter: a brick sorter minus its entire last level.
+      const ComparatorNetwork full = brick_sorter(n);
+      cases.push_back(full.slice(0, full.depth() - 1));
+    }
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      const auto& net = cases[c];
+      const std::optional<std::uint64_t> expect = reference_min_failing(net);
+      const ZeroOneReport report = zero_one_check(net);
+      ASSERT_EQ(report.sorts_all, !expect.has_value())
+          << "n=" << n << " case=" << c;
+      ASSERT_EQ(report.failing_vector, expect) << "n=" << n << " case=" << c;
+      if (report.sorts_all) {
+        EXPECT_EQ(report.vectors_checked, std::uint64_t{1} << n);
+      }
+      // The compiled-reuse overload must agree with the circuit overload.
+      const ZeroOneReport reused = zero_one_check(compile(net));
+      EXPECT_EQ(reused.sorts_all, report.sorts_all);
+      EXPECT_EQ(reused.failing_vector, report.failing_vector);
+    }
+  }
+}
+
+TEST(SimdZeroOne, PooledSweepIsDeterministic) {
+  // The minimal failing vector must not depend on thread count or
+  // scheduling: pool runs repeat-match the serial run exactly.
+  Prng rng(505);
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 6; ++rep) {
+    const ComparatorNetwork net = random_mixed_circuit(12, 4, rng);
+    const ZeroOneReport serial = zero_one_check(net);
+    for (int run = 0; run < 3; ++run) {
+      const ZeroOneReport pooled = zero_one_check(net, &pool);
+      ASSERT_EQ(pooled.sorts_all, serial.sorts_all) << "rep=" << rep;
+      ASSERT_EQ(pooled.failing_vector, serial.failing_vector)
+          << "rep=" << rep << " run=" << run;
+    }
+  }
+}
+
+TEST(SimdZeroOne, TrivialWidthOne) {
+  ComparatorNetwork net(1);
+  const CompiledNetwork compiled = compile(net);
+  EXPECT_EQ(compiled.width(), 1u);
+  EXPECT_EQ(compiled.op_count(), 0u);
+  std::vector<wire_t> values{0};
+  std::vector<wire_t> scratch;
+  compiled.apply(values, scratch);
+  EXPECT_EQ(values, (std::vector<wire_t>{0}));
+  const ZeroOneReport report = zero_one_check(net);
+  EXPECT_TRUE(report.sorts_all);
+  EXPECT_EQ(report.vectors_checked, 2u);
+}
+
+// ----------------------------------------------- witness replay path --
+
+TEST(SimdWitness, CompiledReplayAgreesWithModelReplay) {
+  // The refuter now verifies certificates through the compiled kernel;
+  // hold the compiled check_witness to full agreement (both flags) with
+  // the structure-walking one, across many witnesses of one refutation.
+  Prng rng(5);
+  const RegisterNetwork net = random_shuffle_network(16, 5, rng);
+  const RefutationResult result = refute(net);
+  ASSERT_EQ(result.status, RefutationStatus::Refuted);
+  const std::vector<Witness> witnesses =
+      enumerate_witnesses(result.adversary, 32);
+  ASSERT_FALSE(witnesses.empty());
+  const CompiledNetwork compiled = compile(net);
+  for (const Witness& w : witnesses) {
+    const WitnessCheck model = check_witness(net, w);
+    const WitnessCheck replay = check_witness(compiled, w);
+    EXPECT_EQ(replay.never_compared, model.never_compared);
+    EXPECT_EQ(replay.same_permutation, model.same_permutation);
+    EXPECT_TRUE(replay.refutes_sorting());
+  }
+}
+
+}  // namespace
+}  // namespace shufflebound

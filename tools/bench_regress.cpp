@@ -1,0 +1,222 @@
+// bench_regress - the perf-smoke gate.
+//
+// Compares the JSON reports emitted by the experiment binaries (via
+// `--json`, see bench/bench_util.hpp) against the checked-in floors in
+// bench/baseline.json and fails when any throughput metric regresses.
+//
+//   bench_regress --baseline bench/baseline.json BENCH_E10.json ...
+//
+// Baseline format: one object per experiment id, mapping metric name to
+// its floor value. All metrics are higher-is-better by convention; a
+// report value below floor * (1 - tolerance) is a regression, and a
+// baseline metric missing from the report fails too (a silently dropped
+// metric must not pass the gate). Report metrics without a baseline
+// entry are informational only, so new metrics can land before their
+// floors do.
+//
+// Tolerance: --tolerance <fraction> (default 0.30), overridable by the
+// SHUFFLEBOUND_BENCH_TOLERANCE environment variable.
+//
+// Exit codes: 0 all gated metrics pass, 1 regression or missing metric,
+// 2 usage / IO / parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace shufflebound {
+namespace {
+
+struct GateResult {
+  std::size_t checked = 0;
+  std::vector<std::string> failures;
+};
+
+/// Gates one report document against the baseline root. `label` names
+/// the report in messages (its file name, or "self-test").
+GateResult check_report(const JsonValue& baseline, const JsonValue& report,
+                        const std::string& label, double tolerance) {
+  GateResult result;
+  const JsonValue* experiment = report.find("experiment");
+  const JsonValue* metrics = report.find("metrics");
+  if (experiment == nullptr || !experiment->is_string() ||
+      metrics == nullptr || !metrics->is_object()) {
+    result.failures.push_back(label + ": not a bench report (need "
+                              "\"experiment\" and \"metrics\")");
+    return result;
+  }
+  const JsonValue* floors = baseline.find(experiment->as_string());
+  if (floors == nullptr || !floors->is_object()) {
+    std::printf("%s: no baseline for %s, skipping\n", label.c_str(),
+                experiment->as_string().c_str());
+    return result;
+  }
+  for (const auto& [name, floor] : floors->members()) {
+    if (!floor.is_number()) {
+      result.failures.push_back(label + ": baseline metric " + name +
+                                " is not a number");
+      continue;
+    }
+    const JsonValue* value = metrics->find(name);
+    if (value == nullptr || !value->is_number()) {
+      result.failures.push_back(label + ": metric " + name +
+                                " missing from report");
+      continue;
+    }
+    ++result.checked;
+    const double gate = floor.as_double() * (1.0 - tolerance);
+    if (value->as_double() < gate) {
+      std::ostringstream msg;
+      msg << label << ": " << name << " regressed: " << value->as_double()
+          << " < " << gate << " (floor " << floor.as_double()
+          << ", tolerance " << tolerance << ")";
+      result.failures.push_back(msg.str());
+    } else {
+      std::printf("%s: %s = %g (floor %g) ok\n", label.c_str(), name.c_str(),
+                  value->as_double(), floor.as_double());
+    }
+  }
+  return result;
+}
+
+int self_test() {
+  const JsonValue baseline = JsonValue::parse(
+      R"({"E99":{"rate":100.0,"speedup":2.0}})");
+  const auto report = [](const char* metrics) {
+    return JsonValue::parse(std::string(R"({"experiment":"E99","metrics":)") +
+                            metrics + "}");
+  };
+  std::size_t failed = 0;
+  const auto expect = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "self-test FAILED: %s\n", what);
+      ++failed;
+    }
+  };
+
+  // Healthy report passes; value inside tolerance passes.
+  GateResult r = check_report(baseline, report(R"({"rate":100,"speedup":2})"),
+                              "self-test", 0.30);
+  expect(r.failures.empty() && r.checked == 2, "healthy report must pass");
+  r = check_report(baseline, report(R"({"rate":71,"speedup":2})"),
+                   "self-test", 0.30);
+  expect(r.failures.empty(), "value within tolerance must pass");
+
+  // Regression beyond tolerance fails.
+  r = check_report(baseline, report(R"({"rate":69,"speedup":2})"),
+                   "self-test", 0.30);
+  expect(r.failures.size() == 1, "regressed metric must fail");
+
+  // Baseline metric missing from the report fails.
+  r = check_report(baseline, report(R"({"rate":100})"), "self-test", 0.30);
+  expect(r.failures.size() == 1, "missing metric must fail");
+
+  // Extra report metrics are informational; unknown experiment skips.
+  r = check_report(baseline, report(R"({"rate":100,"speedup":2,"new":1})"),
+                   "self-test", 0.30);
+  expect(r.failures.empty(), "extra metrics must not fail");
+  r = check_report(
+      baseline,
+      JsonValue::parse(R"({"experiment":"E42","metrics":{"rate":1}})"),
+      "self-test", 0.30);
+  expect(r.failures.empty() && r.checked == 0,
+         "experiment without baseline must skip");
+
+  // Malformed report fails.
+  r = check_report(baseline, JsonValue::parse(R"({"metrics":{}})"),
+                   "self-test", 0.30);
+  expect(!r.failures.empty(), "report without experiment id must fail");
+
+  if (failed == 0) std::printf("self-test: all checks passed\n");
+  return failed == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_regress --baseline <baseline.json> "
+               "[--tolerance <frac>] <report.json>...\n"
+               "       bench_regress --self-test\n");
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  std::string baseline_path;
+  double tolerance = 0.30;
+  if (const char* env = std::getenv("SHUFFLEBOUND_BENCH_TOLERANCE"))
+    tolerance = std::atof(env);
+  std::vector<std::string> reports;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return self_test();
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      reports.push_back(arg);
+    }
+  }
+  if (baseline_path.empty() || reports.empty()) return usage();
+  if (tolerance < 0.0 || tolerance >= 1.0) {
+    std::fprintf(stderr, "bench_regress: tolerance must be in [0, 1)\n");
+    return 2;
+  }
+
+  const auto load = [](const std::string& path,
+                       JsonValue& out) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "bench_regress: cannot read %s\n", path.c_str());
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      out = JsonValue::parse(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_regress: %s: %s\n", path.c_str(), e.what());
+      return false;
+    }
+    return true;
+  };
+
+  JsonValue baseline;
+  if (!load(baseline_path, baseline)) return 2;
+  if (!baseline.is_object()) {
+    std::fprintf(stderr, "bench_regress: baseline must be a JSON object\n");
+    return 2;
+  }
+
+  std::size_t checked = 0;
+  std::vector<std::string> failures;
+  for (const std::string& path : reports) {
+    JsonValue report;
+    if (!load(path, report)) return 2;
+    GateResult result = check_report(baseline, report, path, tolerance);
+    checked += result.checked;
+    failures.insert(failures.end(), result.failures.begin(),
+                    result.failures.end());
+  }
+
+  if (!failures.empty()) {
+    for (const std::string& f : failures)
+      std::fprintf(stderr, "FAIL %s\n", f.c_str());
+    std::fprintf(stderr, "bench_regress: %zu failure(s), %zu metrics gated\n",
+                 failures.size(), checked);
+    return 1;
+  }
+  std::printf("bench_regress: %zu gated metrics pass (tolerance %g)\n",
+              checked, tolerance);
+  return 0;
+}
+
+}  // namespace
+}  // namespace shufflebound
+
+int main(int argc, char** argv) { return shufflebound::run(argc, argv); }
