@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "core/io.hpp"
 #include "networks/shuffle.hpp"
+#include "obs/obs.hpp"
 #include "service/engine.hpp"
 #include "util/prng.hpp"
 
@@ -121,6 +122,34 @@ void print_table() {
     std::printf("%8zu | %12.0f %12.0f | %11.1fx %10llu\n", workers,
                 cold_rate, warm_rate, cold.seconds / warm.seconds,
                 static_cast<unsigned long long>(warm.cache_hits));
+  }
+  benchutil::rule();
+
+  // --------------------------------------------- tracing overhead --
+  // The whole engine path is instrumented (queue waits, per-job spans,
+  // cache probes - src/obs/). With tracing disabled (the default) every
+  // call site is one relaxed atomic load; the gated floor on
+  // obs_off_jobs_per_s_w1 holds that near-zero claim. The enabled rate
+  // is informational.
+  {
+    auto cache = std::make_shared<ResultCache>();
+    run_stream(jobs, 1, cache);  // prime
+
+    obs::set_enabled(false);
+    const StreamStats off = run_stream(jobs, 1, cache);
+    obs::set_enabled(true);
+    const StreamStats on = run_stream(jobs, 1, cache);
+    obs::set_enabled(false);
+    obs::reset();
+
+    const double off_rate = static_cast<double>(jobs.size()) / off.seconds;
+    const double on_rate = static_cast<double>(jobs.size()) / on.seconds;
+    std::printf("\ntracing overhead, warm single-worker stream:\n");
+    std::printf("  tracing disabled  : %10.0f jobs/s\n", off_rate);
+    std::printf("  tracing enabled   : %10.0f jobs/s (%+.1f%%)\n", on_rate,
+                (on.seconds / off.seconds - 1.0) * 100.0);
+    benchutil::metric("obs_off_jobs_per_s_w1", off_rate);
+    benchutil::metric("obs_on_jobs_per_s_w1", on_rate);
   }
   benchutil::rule();
   std::printf(

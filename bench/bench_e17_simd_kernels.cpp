@@ -25,6 +25,7 @@
 #include "bench_util.hpp"
 #include "core/bitparallel.hpp"
 #include "networks/classic.hpp"
+#include "obs/obs.hpp"
 #include "sim/bitparallel.hpp"
 #include "sim/compiled_net.hpp"
 #include "sim/simd.hpp"
@@ -159,6 +160,45 @@ void print_table() {
     benchutil::metric("e2e_scalar_mvps_n24", scalar_rate);
     benchutil::metric("e2e_engine_mvps_n24", engine_rate);
     benchutil::metric("e2e_speedup_n24", engine_rate / scalar_rate);
+  }
+
+  // ---------------------------------------------- tracing overhead --
+  // zero_one_check is instrumented (src/obs/): one span plus a few
+  // counters per sweep. Disabled - the shipping default - the cost per
+  // call site is a single relaxed atomic load, so obs_off_sweep_mvps_n16
+  // carries a baseline floor; the enabled rate is informational (span
+  // records are appended per sweep).
+  {
+    const wire_t n = 16;
+    const CompiledNetwork compiled = compile(brick_sorter(n));
+    const std::uint64_t total = std::uint64_t{1} << n;
+    const std::uint64_t reps = benchutil::quick() ? 64 : 512;
+
+    obs::set_enabled(false);
+    const auto t_off = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r)
+      if (!zero_one_check(compiled).sorts_all)
+        throw std::logic_error("bench_e17: obs-off sweep failed");
+    const double off_s = seconds_since(t_off);
+
+    obs::set_enabled(true);
+    const auto t_on = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r)
+      if (!zero_one_check(compiled).sorts_all)
+        throw std::logic_error("bench_e17: obs-on sweep failed");
+    const double on_s = seconds_since(t_on);
+    obs::set_enabled(false);
+    obs::reset();
+
+    const double off_rate = mvps(total * reps, off_s);
+    const double on_rate = mvps(total * reps, on_s);
+    std::printf("\ntracing overhead, n=16 zero_one_check x%llu:\n",
+                static_cast<unsigned long long>(reps));
+    std::printf("  tracing disabled  : %10.1f Mvec/s\n", off_rate);
+    std::printf("  tracing enabled   : %10.1f Mvec/s (%+.1f%%)\n", on_rate,
+                (on_s / off_s - 1.0) * 100.0);
+    benchutil::metric("obs_off_sweep_mvps_n16", off_rate);
+    benchutil::metric("obs_on_sweep_mvps_n16", on_rate);
   }
 }
 

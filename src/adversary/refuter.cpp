@@ -3,6 +3,7 @@
 #include <functional>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "sim/compiled_net.hpp"
 #include "util/bits.hpp"
 
@@ -19,12 +20,21 @@ RefutationResult finish(const AdversaryResult& adversary,
   detail << scope_note << "; survivors " << adversary.survivors.size()
          << ", theorem floor " << adversary.theorem_bound;
   result.detail = detail.str();
-  auto cert = make_certificate(adversary);
+  std::optional<Certificate> cert;
+  {
+    SB_OBS_SPAN("refuter", "witness_build");
+    cert = make_certificate(adversary);
+  }
   if (!cert) {
     result.status = RefutationStatus::TooFewSurvivors;
     return result;
   }
-  if (!verify(cert->witness)) {
+  bool verified = false;
+  {
+    SB_OBS_SPAN("refuter", "witness_replay");
+    verified = verify(cert->witness);
+  }
+  if (!verified) {
     // Should be impossible; surface loudly rather than hand out a bogus
     // certificate.
     throw std::logic_error("refute: certificate failed self-verification");
@@ -37,6 +47,7 @@ RefutationResult finish(const AdversaryResult& adversary,
 }  // namespace
 
 RefutationResult refute(const IteratedRdn& net, std::uint32_t k) {
+  SB_OBS_SPAN("refuter", "refute");
   const AdversaryResult adversary = run_adversary(net, k);
   std::ostringstream note;
   note << "iterated RDN, " << net.stage_count() << " stage(s)";
@@ -51,6 +62,7 @@ RefutationResult refute(const IteratedRdn& net, std::uint32_t k) {
 }
 
 RefutationResult refute(const RegisterNetwork& net, std::uint32_t k) {
+  SB_OBS_SPAN("refuter", "refute");
   if (!is_pow2(net.width()) || net.width() < 4) {
     RefutationResult result;
     result.detail = "width must be a power of two >= 4";
@@ -76,6 +88,7 @@ RefutationResult refute(const RegisterNetwork& net, std::uint32_t k) {
 }
 
 RefutationResult refute(const ComparatorNetwork& net, std::uint32_t k) {
+  SB_OBS_SPAN("refuter", "refute");
   RefutationResult out_of_scope;
   if (!is_pow2(net.width()) || net.width() < 4) {
     out_of_scope.detail = "width must be a power of two >= 4";

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/bits.hpp"
 
 namespace shufflebound {
@@ -52,6 +54,9 @@ AdversaryResult run_adversary(const IteratedRdn& net, std::uint32_t k,
   const wire_t n = net.width();
   if (n < 2) throw std::invalid_argument("run_adversary: width must be >= 2");
   if (k == 0) k = std::max<std::uint32_t>(1, log2_exact(n));
+  SB_OBS_SPAN("refuter", "adversary");
+  SB_OBS_COUNT("refuter.adversary_runs", 1);
+  SB_OBS_COUNT("refuter.adversary_stages", net.stage_count());
 
   AdversaryResult result;
   result.input_pattern = InputPattern(n, sym_M(0));
@@ -78,8 +83,14 @@ AdversaryResult run_adversary(const IteratedRdn& net, std::uint32_t k,
       survivor_at_slot.swap(scratch_w);
     }
 
-    Lemma41Result lemma = lemma41(stage.chunk, cut_pattern, k);
+    std::optional<Lemma41Result> lemma_result;
+    {
+      SB_OBS_SPAN("refuter", "lemma41_refine");
+      lemma_result = lemma41(stage.chunk, cut_pattern, k);
+    }
+    Lemma41Result& lemma = *lemma_result;
 
+    SB_OBS_SPAN("refuter", "pattern_refine");
     // Choose the set to carry forward (the paper's averaging step picks
     // the largest; alternatives are ablation-only).
     const std::size_t best = select_set(lemma.sets, selection);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace shufflebound {
 
 std::optional<Witness> extract_witness(const AdversaryResult& result) {
@@ -114,6 +116,8 @@ WitnessCheck check_witness(const IteratedRdn& net, const Witness& w) {
 }
 
 WitnessCheck check_witness(const CompiledNetwork& net, const Witness& w) {
+  SB_OBS_SPAN("refuter", "witness_check");
+  SB_OBS_COUNT("refuter.witness_checks", 1);
   const wire_t n = w.pi.size();
   ComparisonRecorder rec_pi(n);
   ComparisonRecorder rec_prime(n);

@@ -8,6 +8,8 @@
 #include "adversary/refuter.hpp"
 #include "analysis/sortedness.hpp"
 #include "lint/linter.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "sim/batch.hpp"
 #include "sim/bitparallel.hpp"
 #include "sim/compiled_net.hpp"
@@ -88,8 +90,10 @@ JsonValue info_payload(const ParsedNetwork& net) {
 /// failing vector - identical in every build (wide or forced-scalar).
 std::optional<std::uint64_t> strict_sweep(const CompiledNetwork& net,
                                           Clock::time_point deadline) {
+  SB_OBS_SPAN("kernel", "strict_sweep");
   const wire_t n = net.width();
   const std::uint64_t total = std::uint64_t{1} << n;
+  SB_OBS_COUNT("kernel.vectors_evaluated", total);
   const std::span<const wire_t> order = net.output_order();
   std::vector<simd::Lane> words(n);
   for (std::uint64_t base = 0; base < total; base += simd::kLaneBits) {
@@ -405,6 +409,7 @@ AnalysisEngine::~AnalysisEngine() { finish(); }
 bool AnalysisEngine::submit(JobSpec spec) {
   if (finished_) return false;
   spec.seq = next_seq_++;
+  if (obs::enabled()) spec.submit_us = obs::now_us();
   telemetry_.kind(static_cast<std::size_t>(spec.kind))
       .submitted.fetch_add(1, std::memory_order_relaxed);
   return queue_.push(std::move(spec));
@@ -427,6 +432,13 @@ void AnalysisEngine::worker_loop() {
 
 void AnalysisEngine::process(JobSpec spec) {
   const auto start = Clock::now();
+  if (spec.submit_us != 0)
+    obs::record_complete("service", "queue_wait", spec.submit_us,
+                         obs::now_us() - spec.submit_us);
+  // One span per job, named by kind; the probe and execute phases nest
+  // inside it in the trace.
+  const obs::Span job_span("service", job_kind_name(spec.kind));
+  SB_OBS_COUNT("service.jobs", 1);
   const std::uint64_t timeout_ms =
       spec.timeout_ms != 0 ? spec.timeout_ms : config_.default_timeout_ms;
   const Clock::time_point deadline =
@@ -435,6 +447,10 @@ void AnalysisEngine::process(JobSpec spec) {
 
   JobKindTelemetry& tk = telemetry_.kind(static_cast<std::size_t>(spec.kind));
   std::optional<JobResult> result;
+  // Cache lookup + revalidation time, kept out of the execute latency
+  // histogram (recorded into tk.cache_probe instead).
+  Clock::duration probe_time{0};
+  bool probed = false;
 
   if (spec.kind == JobKind::Lint) {
     // Lint runs on raw text: cache under a hash of the bytes. Only clean
@@ -443,7 +459,15 @@ void AnalysisEngine::process(JobSpec spec) {
     std::optional<CacheKey> key;
     if (config_.cache_enabled) {
       key = lint_cache_key(spec);
-      if (std::optional<JsonValue> hit = cache_->lookup(*key)) {
+      const auto probe_start = Clock::now();
+      std::optional<JsonValue> hit;
+      {
+        SB_OBS_SPAN("service", "cache_probe");
+        hit = cache_->lookup(*key);
+      }
+      probe_time += Clock::now() - probe_start;
+      probed = true;
+      if (hit) {
         JobResult r;
         r.seq = spec.seq;
         r.id = spec.id;
@@ -453,11 +477,18 @@ void AnalysisEngine::process(JobSpec spec) {
         r.from_cache = true;
         result = std::move(r);
         tk.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        SB_OBS_COUNT("service.cache_hits", 1);
       }
     }
     if (!result) {
-      if (key) tk.cache_misses.fetch_add(1, std::memory_order_relaxed);
-      result = execute(spec, deadline);
+      if (key) {
+        tk.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        SB_OBS_COUNT("service.cache_misses", 1);
+      }
+      {
+        SB_OBS_SPAN("service", "execute");
+        result = execute(spec, deadline);
+      }
       if (result->ok && key) cache_->insert(*key, result->payload);
     }
   } else if (spec.kind != JobKind::Invalid) {
@@ -476,30 +507,46 @@ void AnalysisEngine::process(JobSpec spec) {
       std::optional<CacheKey> key;
       if (config_.cache_enabled) {
         key = cache_key(spec, *net);
-        if (std::optional<JsonValue> hit = cache_->lookup(*key)) {
-          bool valid = true;
-          if (spec.kind == JobKind::Refute) {
-            valid = revalidate_refutation(*net, *hit);
-            telemetry_.count_witness_revalidation(valid);
-          }
-          if (valid) {
-            JobResult r;
-            r.seq = spec.seq;
-            r.id = spec.id;
-            r.kind = spec.kind;
-            r.ok = true;
-            r.payload = std::move(*hit);
-            r.from_cache = true;
-            result = std::move(r);
-            tk.cache_hits.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            cache_->invalidate(*key);
+        const auto probe_start = Clock::now();
+        {
+          SB_OBS_SPAN("service", "cache_probe");
+          if (std::optional<JsonValue> hit = cache_->lookup(*key)) {
+            bool valid = true;
+            if (spec.kind == JobKind::Refute) {
+              valid = revalidate_refutation(*net, *hit);
+              telemetry_.count_witness_revalidation(valid);
+              SB_OBS_COUNT("service.witness_revalidations", 1);
+              if (!valid)
+                SB_OBS_COUNT("service.witness_revalidation_failures", 1);
+            }
+            if (valid) {
+              JobResult r;
+              r.seq = spec.seq;
+              r.id = spec.id;
+              r.kind = spec.kind;
+              r.ok = true;
+              r.payload = std::move(*hit);
+              r.from_cache = true;
+              result = std::move(r);
+              tk.cache_hits.fetch_add(1, std::memory_order_relaxed);
+              SB_OBS_COUNT("service.cache_hits", 1);
+            } else {
+              cache_->invalidate(*key);
+            }
           }
         }
+        probe_time += Clock::now() - probe_start;
+        probed = true;
       }
       if (!result) {
-        if (key) tk.cache_misses.fetch_add(1, std::memory_order_relaxed);
-        result = execute_parsed(spec, *net, deadline);
+        if (key) {
+          tk.cache_misses.fetch_add(1, std::memory_order_relaxed);
+          SB_OBS_COUNT("service.cache_misses", 1);
+        }
+        {
+          SB_OBS_SPAN("service", "execute");
+          result = execute_parsed(spec, *net, deadline);
+        }
         if (result->ok && key) cache_->insert(*key, result->payload);
       }
     }
@@ -513,10 +560,12 @@ void AnalysisEngine::process(JobSpec spec) {
     tk.failed.fetch_add(1, std::memory_order_relaxed);
     if (result->timed_out) tk.timed_out.fetch_add(1, std::memory_order_relaxed);
   }
-  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                          Clock::now() - start)
-                          .count();
-  tk.latency.record(static_cast<std::uint64_t>(micros));
+  const auto micros = [](Clock::duration d) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  };
+  tk.latency.record(micros(Clock::now() - start - probe_time));
+  if (probed) tk.cache_probe.record(micros(probe_time));
   emit(std::move(*result));
 }
 
@@ -539,6 +588,9 @@ JsonValue AnalysisEngine::telemetry_to_json() const {
           static_cast<std::uint64_t>(queue_.high_water()));
   out.set("queue_capacity", static_cast<std::uint64_t>(queue_.capacity()));
   out.set("workers", static_cast<std::uint64_t>(pool_.worker_count()));
+  // Obs counters/span totals ride along when tracing is on. Never part of
+  // result lines, so batch output stays byte-identical either way.
+  if (obs::enabled()) out.set("metrics", obs::metrics_to_json());
   return out;
 }
 

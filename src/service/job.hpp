@@ -60,6 +60,10 @@ struct JobSpec {
   bool strict = false;        // lint: promote warnings to failures
   std::uint64_t timeout_ms = 0;  // 0 = engine default / unlimited
   std::string parse_error;    // Invalid only: why the line was rejected
+  /// Observability only: enqueue timestamp (obs::now_us()) stamped by
+  /// AnalysisEngine::submit when tracing is enabled, so the worker can
+  /// record the queue wait as a span. 0 = untracked. Never serialized.
+  std::uint64_t submit_us = 0;
 };
 
 /// Parses one JSONL job line (never throws; see header comment).

@@ -83,6 +83,8 @@ JsonValue Telemetry::to_json(const JsonValue* cache_stats) const {
     entry.set("cache_hits", k.cache_hits.load(std::memory_order_relaxed));
     entry.set("cache_misses", k.cache_misses.load(std::memory_order_relaxed));
     entry.set("latency", k.latency.to_json());
+    if (k.cache_probe.count() > 0)
+      entry.set("cache_probe", k.cache_probe.to_json());
     jobs.set(job_kind_name(static_cast<JobKind>(i)), std::move(entry));
   }
   JsonValue out = JsonValue::object();

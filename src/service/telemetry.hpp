@@ -45,7 +45,14 @@ struct JobKindTelemetry {
   std::atomic<std::uint64_t> timed_out{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
+  /// Job time EXCLUDING cache probes: parse + execute (or the cost of
+  /// serving from cache once probing is done). Keeping the probe out
+  /// means a warm batch's latency histogram reflects result delivery,
+  /// not lookup + revalidation cost - that lives in `cache_probe`.
   LatencyHistogram latency;
+  /// Cache lookup + (for refute hits) witness revalidation time, per
+  /// probe. Recorded only when the engine actually probed the cache.
+  LatencyHistogram cache_probe;
 };
 
 class Telemetry {

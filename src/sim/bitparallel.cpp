@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sim/simd.hpp"
 
 namespace shufflebound {
@@ -54,6 +55,12 @@ ZeroOneReport zero_one_check(const CompiledNetwork& net, ThreadPool* pool) {
   const wire_t n = net.width();
   if (n > 30)
     throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
+  SB_OBS_SPAN("kernel", "zero_one_check");
+  SB_OBS_COUNT("kernel.sweeps", 1);
+  SB_OBS_COUNT("kernel.vectors_evaluated", std::uint64_t{1} << n);
+  SB_OBS_GAUGE("kernel.lane_bits", simd::kLaneBits);
+  if constexpr (simd::kLaneWords == 1)
+    SB_OBS_COUNT("kernel.scalar_fallback_sweeps", 1);
   const std::uint64_t total = std::uint64_t{1} << n;
   const std::uint64_t blocks =
       (total + simd::kLaneBits - 1) / simd::kLaneBits;
@@ -117,6 +124,7 @@ RelabelReport relabel_impl(const Net& net) {
   if (n > 24)
     throw std::invalid_argument(
         "zero_one_check_up_to_relabel: n too large for 2^n sweep");
+  SB_OBS_SPAN("kernel", "relabel_check");
   const std::uint64_t total = std::uint64_t{1} << n;
   constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
   std::vector<std::uint32_t> expected(n + 1, kUnset);

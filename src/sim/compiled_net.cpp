@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace shufflebound {
 
 void CompiledNetwork::reorder(std::vector<wire_t>& values,
@@ -97,6 +99,8 @@ class NetworkCompiler {
 };
 
 CompiledNetwork compile(const ComparatorNetwork& net) {
+  SB_OBS_SPAN("kernel", "compile");
+  SB_OBS_COUNT("kernel.compiles", 1);
   NetworkCompiler compiler(net.width());
   for (const Level& level : net.levels()) {
     compiler.begin_level();
@@ -107,6 +111,8 @@ CompiledNetwork compile(const ComparatorNetwork& net) {
 }
 
 CompiledNetwork compile(const RegisterNetwork& net) {
+  SB_OBS_SPAN("kernel", "compile");
+  SB_OBS_COUNT("kernel.compiles", 1);
   NetworkCompiler compiler(net.width());
   for (const RegisterStep& step : net.steps()) {
     compiler.begin_level();
@@ -121,6 +127,8 @@ CompiledNetwork compile(const RegisterNetwork& net) {
 }
 
 CompiledNetwork compile(const IteratedRdn& net) {
+  SB_OBS_SPAN("kernel", "compile");
+  SB_OBS_COUNT("kernel.compiles", 1);
   NetworkCompiler compiler(net.width());
   for (const IteratedRdn::Stage& stage : net.stages()) {
     compiler.apply_permutation(stage.pre);

@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace shufflebound {
 
 class ThreadPool {
@@ -70,6 +72,17 @@ class ThreadPool {
   /// work in its own try/catch. FIFO start order, no completion signal -
   /// callers that need one should capture a latch/condition of their own.
   void submit(std::function<void()> task) {
+    // Observability: stamp the enqueue so the worker can record the
+    // queue-wait as a synthetic span. Only when tracing is on - the
+    // disabled path neither reads the clock nor reallocates the task.
+    if (obs::enabled()) {
+      SB_OBS_COUNT("pool.tasks_submitted", 1);
+      task = [inner = std::move(task), submitted_us = obs::now_us()] {
+        obs::record_complete("pool", "queue_wait", submitted_us,
+                             obs::now_us() - submitted_us);
+        inner();
+      };
+    }
     {
       std::scoped_lock lock(mutex_);
       tasks_.push_back(std::move(task));
@@ -141,6 +154,8 @@ class ThreadPool {
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
+      const bool track_idle = obs::enabled();
+      const std::uint64_t idle_start_us = track_idle ? obs::now_us() : 0;
       {
         std::unique_lock lock(mutex_);
         wake_workers_.wait(lock,
@@ -149,6 +164,10 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop_front();
       }
+      if (track_idle)
+        SB_OBS_COUNT("pool.idle_us", obs::now_us() - idle_start_us);
+      SB_OBS_SPAN("pool", "task");
+      SB_OBS_COUNT("pool.tasks_executed", 1);
       task();
     }
   }

@@ -1,7 +1,17 @@
 // Robustness fuzzing of every text parser: random corruption of valid
 // artifacts and raw random bytes must produce clean std::invalid_argument
 // failures (or valid parses), never crashes or silent misreads.
+//
+// A deterministic seed corpus (tests/data/fuzz_seeds/) replays first:
+// regressions caught by past fuzzing stay caught even when the random
+// iterations are scaled down (SB_TEST_ITERS_SCALE).
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "adversary/certificate.hpp"
 #include "adversary/refuter.hpp"
@@ -52,6 +62,47 @@ void fuzz_parser(const std::string& seed_text, ParseFn parse, int rounds,
     }
     // Anything else (segfault, std::bad_alloc storm, logic_error)
     // escapes and fails the test.
+  }
+}
+
+// Every corpus file goes through every parser: a parser either accepts
+// the text or rejects it with the documented exception types. Crashes,
+// logic_errors, and silent misreads fail here before any random fuzzing
+// runs.
+template <typename ParseFn>
+void replay_seed(const std::string& text, ParseFn parse) {
+  try {
+    parse(text);
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  } catch (const std::runtime_error&) {
+  }
+}
+
+TEST(Fuzz, SeedCorpusReplays) {
+  const std::filesystem::path dir =
+      std::filesystem::path(SB_TEST_DATA_DIR) / "fuzz_seeds";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "empty seed corpus: " << dir;
+  for (const std::filesystem::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    std::ifstream in(file, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    replay_seed(text, [](const std::string& t) { (void)circuit_from_text(t); });
+    replay_seed(text,
+                [](const std::string& t) { (void)register_from_text(t); });
+    replay_seed(text,
+                [](const std::string& t) { (void)iterated_from_text(t); });
+    replay_seed(text,
+                [](const std::string& t) { (void)certificate_from_text(t); });
+    replay_seed(text, [](const std::string& t) { (void)pattern_from_text(t); });
   }
 }
 

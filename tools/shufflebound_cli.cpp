@@ -23,6 +23,12 @@
 //                                     rule-based diagnostics over network
 //                                     spec files (docs/lint.md)
 //
+// Every subcommand additionally accepts `--trace <file>` and
+// `--metrics <file>` (docs/observability.md): both turn tracing on for
+// the whole run; on exit the collected spans are written as a Chrome
+// trace-event JSON array and the counters as a flat metrics snapshot.
+// A path of "-" writes to stderr so stdout output stays machine-clean.
+//
 // Files holding register networks are flattened where a circuit is
 // required; 'refute' requires a shuffle-based register network (the class
 // the lower bound addresses) or a circuit recognizable as an RDN.
@@ -32,6 +38,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "adversary/certificate.hpp"
@@ -48,6 +55,8 @@
 #include "networks/rdn_io.hpp"
 #include "lint/linter.hpp"
 #include "networks/shuffle.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "routing/benes.hpp"
 #include "service/engine.hpp"
 #include "sim/bitparallel.hpp"
@@ -467,16 +476,19 @@ int cmd_route(wire_t n, std::uint64_t seed) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Subcommand dispatch on argv with `--trace`/`--metrics` already
+/// stripped. Runs under a top-level "cli" span so every trace shows the
+/// full command duration above the phase spans.
+int dispatch(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch|lint ...\n",
+                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch|lint"
+                 " ... [--trace file] [--metrics file]\n",
                  argv[0]);
     return 2;
   }
   const std::string cmd = argv[1];
+  const obs::Span cli_span("cli", argv[1]);
   try {
     if (cmd == "make") return cmd_make(argc - 2, argv + 2);
     if (cmd == "show" && argc >= 3) return cmd_show(argv[2]);
@@ -503,4 +515,42 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "bad arguments for '%s'\n", cmd.c_str());
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Observability flags are global: strip them from argv before the
+  // subcommand sees its arguments, so every subcommand accepts them in
+  // any position without each parser knowing about tracing.
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (i > 0 && (arg == "--trace" || arg == "--metrics")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file argument\n", argv[i]);
+        return 2;
+      }
+      (arg == "--trace" ? trace_path : metrics_path) = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) obs::set_enabled(true);
+
+  int rc = dispatch(static_cast<int>(args.size()), args.data());
+
+  std::string err;
+  if (!trace_path.empty() && !obs::write_trace_file(trace_path, &err)) {
+    std::fprintf(stderr, "error: --trace: %s\n", err.c_str());
+    if (rc == 0) rc = 2;
+  }
+  if (!metrics_path.empty() && !obs::write_metrics_file(metrics_path, &err)) {
+    std::fprintf(stderr, "error: --metrics: %s\n", err.c_str());
+    if (rc == 0) rc = 2;
+  }
+  return rc;
 }
