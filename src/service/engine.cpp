@@ -1,6 +1,5 @@
 #include "service/engine.hpp"
 
-#include <bit>
 #include <cstdio>
 #include <stdexcept>
 
@@ -13,7 +12,6 @@
 #include "sim/batch.hpp"
 #include "sim/bitparallel.hpp"
 #include "sim/compiled_net.hpp"
-#include "sim/simd.hpp"
 #include "util/bits.hpp"
 #include "util/prng.hpp"
 
@@ -84,61 +82,42 @@ JsonValue info_payload(const ParsedNetwork& net) {
 
 // ------------------------------------------------------------- certify --
 
-/// Deadline-aware strict 0-1 sweep on the compiled kernel, one SIMD lane
-/// per step (single-threaded: job-level parallelism lives across jobs).
-/// Scans blocks in ascending order, so the return value is the MINIMAL
-/// failing vector - identical in every build (wide or forced-scalar).
-std::optional<std::uint64_t> strict_sweep(const CompiledNetwork& net,
-                                          Clock::time_point deadline) {
-  SB_OBS_SPAN("kernel", "strict_sweep");
-  const wire_t n = net.width();
-  const std::uint64_t total = std::uint64_t{1} << n;
-  SB_OBS_COUNT("kernel.vectors_evaluated", total);
-  const std::span<const wire_t> order = net.output_order();
-  std::vector<simd::Lane> words(n);
-  for (std::uint64_t base = 0; base < total; base += simd::kLaneBits) {
-    if ((base & 0xFFFFull) == 0) check_deadline(deadline);
-    for (wire_t w = 0; w < n; ++w) words[w] = simd::pattern_lane(w, base);
-    net.evaluate_packed(words.data());
-    simd::Lane bad = simd::lane_zero();
-    for (wire_t p = 0; p + 1 < n; ++p)
-      bad |= words[order[p]] & ~words[order[p + 1]];
-    bad &= simd::valid_mask_lane(base, total);
-    if (!simd::lane_any(bad)) continue;
-    for (std::size_t j = 0; j < simd::kLaneWords; ++j) {
-      const std::uint64_t word = simd::lane_word(bad, j);
-      if (word != 0)
-        return base + 64 * j +
-               static_cast<std::uint64_t>(std::countr_zero(word));
-    }
-  }
-  return std::nullopt;
-}
-
 template <typename Net>
 JsonValue certify_payload(const Net& net, Clock::time_point deadline) {
   const wire_t n = net.width();
-  if (n > 24)
-    throw std::invalid_argument("certify: exhaustive sweep limited to n <= 24");
-  const std::optional<std::uint64_t> failing =
-      strict_sweep(compile(net), deadline);
+  // Hybrid certification (sim/bitparallel.hpp): frontier-friendly
+  // networks certify far past the sweep's n <= 30 wall, everything else
+  // falls back to the wide-lane sweep. Jobs stay single-threaded (no
+  // pool: job-level parallelism lives across jobs); the progress hook
+  // runs the cooperative deadline - once per frontier level, once per
+  // sweep lane block - so both engines time out like strict_sweep did.
+  CertifyOptions opts;
+  opts.progress = [deadline] { check_deadline(deadline); };
+  const ZeroOneReport report = zero_one_check(net, opts);
   JsonValue payload = JsonValue::object();
-  if (!failing) {
+  if (report.sorts_all) {
     payload.set("verdict", "sorting");
   } else {
     check_deadline(deadline);
-    // The paper's general definition allows a fixed output rank
-    // assignment; mirror the CLI's fallback.
-    const RelabelReport relabeled = zero_one_check_up_to_relabel(net);
-    if (relabeled.sorts) {
-      payload.set("verdict", "sorting-up-to-relabel");
-      payload.set("ranks", wires_to_json(relabeled.ranks->image()));
+    if (n <= kSweepWidthCap) {
+      // The paper's general definition allows a fixed output rank
+      // assignment; mirror the CLI's fallback.
+      const RelabelReport relabeled = zero_one_check_up_to_relabel(net);
+      if (relabeled.sorts) {
+        payload.set("verdict", "sorting-up-to-relabel");
+        payload.set("ranks", wires_to_json(relabeled.ranks->image()));
+      } else {
+        payload.set("verdict", "not-sorting");
+        payload.set("failing_vector", hex_u64(*report.failing_vector));
+      }
     } else {
+      // Past the relabel sweep's reach: report the strict verdict with
+      // its witness (exact and minimal, by the engine contract).
       payload.set("verdict", "not-sorting");
-      payload.set("failing_vector", hex_u64(*failing));
+      payload.set("failing_vector", hex_u64(*report.failing_vector));
     }
   }
-  payload.set("vectors_checked", std::uint64_t{1} << n);
+  payload.set("vectors_checked", report.vectors_checked);
   return payload;
 }
 

@@ -1,8 +1,10 @@
 #include "sim/bitparallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 #include "obs/obs.hpp"
 #include "sim/simd.hpp"
@@ -10,6 +12,21 @@
 namespace shufflebound {
 
 namespace {
+
+std::string cap_error(const char* function, const char* engine, wire_t cap,
+                      wire_t n, const char* hint) {
+  return std::string(function) + ": n=" + std::to_string(n) +
+         " exceeds the " + engine + " engine cap (n <= " +
+         std::to_string(cap) + ")" + hint;
+}
+
+[[noreturn]] void throw_sweep_cap(wire_t n) {
+  throw std::invalid_argument(cap_error(
+      "zero_one_check", "sweep", kSweepWidthCap, n,
+      "; the frontier engine certifies frontier-friendly networks up to "
+      "n <= 48 (CertifyEngine::Frontier or Auto, --certify-engine "
+      "frontier|auto)"));
+}
 
 /// Lowers `candidate` into the atomic minimum. CAS loop (fetch_min is
 /// C++26); the final value is the exact minimum over all contributions,
@@ -49,15 +66,16 @@ std::optional<std::uint64_t> sweep_block(const CompiledNetwork& net,
   return std::nullopt;  // unreachable: lane_any said otherwise
 }
 
-}  // namespace
-
-ZeroOneReport zero_one_check(const CompiledNetwork& net, ThreadPool* pool) {
+/// The wide-lane 2^n sweep (the pre-frontier zero_one_check), factored
+/// out so the dispatcher can use it as the forced engine and the hybrid
+/// fallback. `progress` (when set) runs once per lane block before its
+/// evaluation - concurrently from pool workers when a pool is set.
+ZeroOneReport sweep_zero_one(const CompiledNetwork& net, ThreadPool* pool,
+                             const std::function<void()>& progress) {
   const wire_t n = net.width();
-  if (n > 30)
-    throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
+  if (n > kSweepWidthCap) throw_sweep_cap(n);
   SB_OBS_SPAN("kernel", "zero_one_check");
   SB_OBS_COUNT("kernel.sweeps", 1);
-  SB_OBS_COUNT("kernel.vectors_evaluated", std::uint64_t{1} << n);
   SB_OBS_GAUGE("kernel.lane_bits", simd::kLaneBits);
   if constexpr (simd::kLaneWords == 1)
     SB_OBS_COUNT("kernel.scalar_fallback_sweeps", 1);
@@ -67,11 +85,16 @@ ZeroOneReport zero_one_check(const CompiledNetwork& net, ThreadPool* pool) {
 
   std::atomic<std::uint64_t> first_failing{UINT64_MAX};
   const auto run_block = [&](std::size_t block) {
+    if (progress) progress();
     const std::uint64_t base =
         static_cast<std::uint64_t>(block) * simd::kLaneBits;
     // Prune blocks that cannot lower the minimum: every vector in this
     // block is >= base, so skipping preserves the exact result.
     if (base >= first_failing.load(std::memory_order_relaxed)) return;
+    // Counted here, after the prune, so the counter reports vectors the
+    // kernel actually evaluated (tests/test_obs.cpp pins the invariant).
+    SB_OBS_COUNT("kernel.vectors_evaluated",
+                 std::min<std::uint64_t>(simd::kLaneBits, total - base));
     simd::Lane words[32];
     if (const auto failing = sweep_block(net, base, total, words))
       atomic_min(first_failing, *failing);
@@ -96,16 +119,144 @@ ZeroOneReport zero_one_check(const CompiledNetwork& net, ThreadPool* pool) {
   return report;
 }
 
+/// Below this width Auto goes straight to the sweep: 2^n is at most a
+/// megavector, the wide lanes chew through it in well under a
+/// millisecond, and skipping the frontier attempt keeps the small-n
+/// hot paths (batch certification, search inner loops) exactly as fast
+/// as before the hybrid existed.
+constexpr wire_t kAutoSweepPreferredWidth = 20;
+
+/// Auto's fallback-guarded frontier attempts (n <= kSweepWidthCap) are
+/// clamped to 2^(n - kAutoAttemptShift) states, i.e. 1/256th of the
+/// sweep's vector count: a frontier-unfriendly network aborts after a
+/// small fraction of the sweep's work, so the hybrid never costs more
+/// than a few percent over running the sweep directly.
+constexpr unsigned kAutoAttemptShift = 8;
+
+ZeroOneReport from_frontier(const FrontierReport& frontier, wire_t n) {
+  ZeroOneReport report;
+  report.sorts_all = frontier.sorts_all;
+  report.failing_vector = frontier.failing_vector;
+  report.vectors_checked = std::uint64_t{1} << n;
+  return report;
+}
+
+[[noreturn]] void throw_budget_exhausted(const FrontierReport& frontier,
+                                         std::uint64_t budget, wire_t n,
+                                         bool sweep_possible) {
+  const std::string detail =
+      "frontier engine exhausted its budget of " + std::to_string(budget) +
+      " states after " + std::to_string(frontier.levels_processed) +
+      " levels at n=" + std::to_string(n);
+  if (sweep_possible)
+    throw std::runtime_error(
+        "zero_one_check: " + detail +
+        "; raise CertifyOptions::frontier_budget or use the sweep engine "
+        "(n <= " +
+        std::to_string(kSweepWidthCap) + ")");
+  throw std::invalid_argument(
+      "zero_one_check: n=" + std::to_string(n) +
+      " exceeds the sweep engine cap (n <= " +
+      std::to_string(kSweepWidthCap) + ") and the " + detail +
+      "; the network is not frontier-friendly at this width");
+}
+
+}  // namespace
+
+const char* certify_engine_name(CertifyEngine engine) noexcept {
+  switch (engine) {
+    case CertifyEngine::Frontier: return "frontier";
+    case CertifyEngine::Sweep: return "sweep";
+    case CertifyEngine::Auto: break;
+  }
+  return "auto";
+}
+
+std::optional<CertifyEngine> parse_certify_engine(std::string_view name) {
+  if (name == "auto") return CertifyEngine::Auto;
+  if (name == "frontier") return CertifyEngine::Frontier;
+  if (name == "sweep") return CertifyEngine::Sweep;
+  return std::nullopt;
+}
+
+ZeroOneReport zero_one_check(const CompiledNetwork& net,
+                             const CertifyOptions& opts) {
+  const wire_t n = net.width();
+  FrontierOptions frontier_opts;
+  frontier_opts.budget = opts.frontier_budget;
+  frontier_opts.pool = opts.pool;
+  frontier_opts.progress = opts.progress;
+
+  switch (opts.engine) {
+    case CertifyEngine::Sweep:
+      return sweep_zero_one(net, opts.pool, opts.progress);
+    case CertifyEngine::Frontier: {
+      const FrontierReport frontier =
+          frontier_zero_one_check(net, frontier_opts);
+      if (!frontier.completed)
+        throw_budget_exhausted(frontier, frontier_opts.budget, n,
+                               /*sweep_possible=*/n <= kSweepWidthCap);
+      return from_frontier(frontier, n);
+    }
+    case CertifyEngine::Auto: break;
+  }
+
+  if (n <= kAutoSweepPreferredWidth)
+    return sweep_zero_one(net, opts.pool, opts.progress);
+  if (n <= kSweepWidthCap) {
+    // Guarded attempt: friendly networks finish orders of magnitude
+    // ahead of the sweep; unfriendly ones blow the clamped budget
+    // almost immediately and fall back.
+    frontier_opts.budget =
+        std::min<std::uint64_t>(frontier_opts.budget,
+                                std::uint64_t{1} << (n - kAutoAttemptShift));
+    const FrontierReport frontier =
+        frontier_zero_one_check(net, frontier_opts);
+    if (frontier.completed) return from_frontier(frontier, n);
+    SB_OBS_COUNT("kernel.frontier_fallbacks", 1);
+    return sweep_zero_one(net, opts.pool, opts.progress);
+  }
+  if (n <= kFrontierWidthCap) {
+    const FrontierReport frontier =
+        frontier_zero_one_check(net, frontier_opts);
+    if (!frontier.completed)
+      throw_budget_exhausted(frontier, frontier_opts.budget, n,
+                             /*sweep_possible=*/false);
+    return from_frontier(frontier, n);
+  }
+  throw std::invalid_argument(
+      "zero_one_check: n=" + std::to_string(n) +
+      " exceeds every certification engine cap (sweep n <= " +
+      std::to_string(kSweepWidthCap) + ", frontier n <= " +
+      std::to_string(kFrontierWidthCap) + ")");
+}
+
+ZeroOneReport zero_one_check(const ComparatorNetwork& net,
+                             const CertifyOptions& opts) {
+  return zero_one_check(compile(net), opts);
+}
+
+ZeroOneReport zero_one_check(const RegisterNetwork& net,
+                             const CertifyOptions& opts) {
+  return zero_one_check(compile(net), opts);
+}
+
+ZeroOneReport zero_one_check(const CompiledNetwork& net, ThreadPool* pool) {
+  CertifyOptions opts;
+  opts.pool = pool;
+  return zero_one_check(net, opts);
+}
+
 ZeroOneReport zero_one_check(const ComparatorNetwork& net, ThreadPool* pool) {
-  if (net.width() > 30)
-    throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
-  return zero_one_check(compile(net), pool);
+  CertifyOptions opts;
+  opts.pool = pool;
+  return zero_one_check(compile(net), opts);
 }
 
 ZeroOneReport zero_one_check(const RegisterNetwork& net, ThreadPool* pool) {
-  if (net.width() > 30)
-    throw std::invalid_argument("zero_one_check: n too large for 2^n sweep");
-  return zero_one_check(compile(net), pool);
+  CertifyOptions opts;
+  opts.pool = pool;
+  return zero_one_check(compile(net), opts);
 }
 
 bool is_sorting_network(const ComparatorNetwork& net, ThreadPool* pool) {
@@ -118,23 +269,22 @@ bool is_sorting_network(const RegisterNetwork& net, ThreadPool* pool) {
 
 namespace {
 
-template <typename Net>
-RelabelReport relabel_impl(const Net& net) {
-  const wire_t n = net.width();
-  if (n > 24)
-    throw std::invalid_argument(
-        "zero_one_check_up_to_relabel: n too large for 2^n sweep");
-  SB_OBS_SPAN("kernel", "relabel_check");
-  const std::uint64_t total = std::uint64_t{1} << n;
-  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
-  std::vector<std::uint32_t> expected(n + 1, kUnset);
+constexpr std::uint32_t kRelabelUnset = 0xFFFFFFFFu;
 
-  // Per-vector output extraction dominates here, so the plain 64-wide
-  // scalar reference kernel is the right tool; the compiled engine buys
-  // nothing for this sweep.
-  for (std::uint64_t base = 0; base < total; base += 64) {
-    const std::uint64_t batch = std::min<std::uint64_t>(64, total - base);
-    std::vector<std::uint64_t> words(n, 0);
+/// Sweeps 0/1 vectors [lo, hi) (64-aligned lo) into a per-weight
+/// expected-output table. Sets `diverged` and stops early when two
+/// inputs of equal weight map to different outputs. Per-vector output
+/// extraction dominates here, so the plain 64-wide scalar reference
+/// kernel is the right tool; the compiled engine buys nothing.
+template <typename Net>
+void relabel_sweep_range(const Net& net, std::uint64_t lo, std::uint64_t hi,
+                         std::vector<std::uint32_t>& expected,
+                         std::atomic<bool>& diverged) {
+  const wire_t n = net.width();
+  std::vector<std::uint64_t> words(n, 0);
+  for (std::uint64_t base = lo; base < hi; base += 64) {
+    if (diverged.load(std::memory_order_relaxed)) return;
+    const std::uint64_t batch = std::min<std::uint64_t>(64, hi - base);
     for (wire_t w = 0; w < n; ++w) words[w] = simd::pattern_word(w, base);
     evaluate_packed(net, words);
     for (std::uint64_t s = 0; s < batch; ++s) {
@@ -143,10 +293,59 @@ RelabelReport relabel_impl(const Net& net) {
       std::uint32_t out = 0;
       for (wire_t w = 0; w < n; ++w)
         out |= static_cast<std::uint32_t>(words[w] >> s & 1ull) << w;
-      if (expected[weight] == kUnset) {
+      if (expected[weight] == kRelabelUnset) {
         expected[weight] = out;
       } else if (expected[weight] != out) {
-        return RelabelReport{};  // two inputs of equal weight diverge
+        diverged.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+template <typename Net>
+RelabelReport relabel_impl(const Net& net, ThreadPool* pool) {
+  const wire_t n = net.width();
+  if (n > kSweepWidthCap)
+    throw std::invalid_argument(
+        cap_error("zero_one_check_up_to_relabel", "relabel sweep",
+                  kSweepWidthCap, n, ""));
+  SB_OBS_SPAN("kernel", "relabel_check");
+  const std::uint64_t total = std::uint64_t{1} << n;
+  std::vector<std::uint32_t> expected(n + 1, kRelabelUnset);
+  std::atomic<bool> diverged{false};
+
+  const std::uint64_t blocks = (total + 63) / 64;
+  const std::size_t shards =
+      pool == nullptr
+          ? 1
+          : std::min<std::uint64_t>(blocks, (pool->worker_count() + 1) * 4);
+  if (shards <= 1) {
+    relabel_sweep_range(net, 0, total, expected, diverged);
+    if (diverged.load()) return RelabelReport{};
+  } else {
+    // Shard the sweep over 64-aligned ranges: each shard fills its own
+    // table, merged below. Divergence cannot hide behind the partition:
+    // two same-weight inputs with different outputs either collide
+    // inside one shard's table or surface as a merge conflict.
+    const std::uint64_t chunk = (blocks + shards - 1) / shards;
+    std::vector<std::vector<std::uint32_t>> tables(
+        shards, std::vector<std::uint32_t>(n + 1, kRelabelUnset));
+    pool->parallel_for(0, shards, [&](std::size_t shard) {
+      const std::uint64_t lo = static_cast<std::uint64_t>(shard) * chunk * 64;
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(total, lo + chunk * 64);
+      if (lo < hi) relabel_sweep_range(net, lo, hi, tables[shard], diverged);
+    });
+    if (diverged.load()) return RelabelReport{};
+    for (const std::vector<std::uint32_t>& table : tables) {
+      for (std::size_t weight = 0; weight <= n; ++weight) {
+        if (table[weight] == kRelabelUnset) continue;
+        if (expected[weight] == kRelabelUnset) {
+          expected[weight] = table[weight];
+        } else if (expected[weight] != table[weight]) {
+          return RelabelReport{};  // shards disagree on a weight class
+        }
       }
     }
   }
@@ -168,12 +367,14 @@ RelabelReport relabel_impl(const Net& net) {
 
 }  // namespace
 
-RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net) {
-  return relabel_impl(net);
+RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net,
+                                           ThreadPool* pool) {
+  return relabel_impl(net, pool);
 }
 
-RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net) {
-  return relabel_impl(net);
+RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net,
+                                           ThreadPool* pool) {
+  return relabel_impl(net, pool);
 }
 
 }  // namespace shufflebound

@@ -13,19 +13,33 @@
 // index range lies above the current minimum, which cannot change the
 // result. The scalar reference kernel lives in core/bitparallel.hpp;
 // tests/test_simd.cpp holds all paths to bit-for-bit agreement.
+//
+// This header is also the home of the hybrid certification dispatcher
+// (CertifyEngine / CertifyOptions): zero_one_check can route through the
+// frontier engine (sim/frontier.hpp), which certifies frontier-friendly
+// networks far past the sweep's 2^n wall under the same determinism
+// contract. See docs/simd.md, "The frontier engine".
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/bitparallel.hpp"
 #include "core/comparator_network.hpp"
 #include "core/register_network.hpp"
 #include "sim/compiled_net.hpp"
+#include "sim/frontier.hpp"
 #include "util/thread_pool.hpp"
 
 namespace shufflebound {
+
+/// Widest network the wide-lane sweep accepts: 2^n test vectors stop
+/// being enumerable long before 64-bit indices run out. The frontier
+/// engine (sim/frontier.hpp) continues to kFrontierWidthCap.
+inline constexpr wire_t kSweepWidthCap = 30;
 
 /// Result of an exhaustive 0-1 check.
 struct ZeroOneReport {
@@ -33,14 +47,46 @@ struct ZeroOneReport {
   /// If not: the minimal witness 0/1 input vector (bit w = value fed to
   /// wire w).
   std::optional<std::uint64_t> failing_vector;
+  /// Size of the certified input space (2^n): the sweep enumerates it,
+  /// the frontier engine covers it symbolically.
   std::uint64_t vectors_checked = 0;
 };
 
-/// Exhaustively checks all 2^n 0/1 vectors (n <= 30 enforced). Pass a
-/// pool to tile vector blocks over its workers. For the register model
-/// the output is checked in register order (sorted register contents),
-/// matching the convention that shuffle-compiled sorters finish in
-/// register order.
+/// Which certification engine a zero_one_check call may use.
+///
+///  * Sweep: the wide-lane 2^n enumeration, n <= kSweepWidthCap.
+///  * Frontier: reachable-set propagation (sim/frontier.hpp), n <=
+///    kFrontierWidthCap; throws if the frontier exceeds the budget.
+///  * Auto: the hybrid - small n stays on the sweep (it is already
+///    memory-bandwidth fast there), mid n tries a budget-bounded
+///    frontier pass and falls back to the sweep when the network is not
+///    frontier-friendly, and n above the sweep cap runs frontier-only.
+enum class CertifyEngine { Auto, Frontier, Sweep };
+
+/// "auto" / "frontier" / "sweep" (CLI flag values, error messages).
+const char* certify_engine_name(CertifyEngine engine) noexcept;
+std::optional<CertifyEngine> parse_certify_engine(std::string_view name);
+
+struct CertifyOptions {
+  CertifyEngine engine = CertifyEngine::Auto;
+  /// State budget handed to frontier passes. Auto additionally clamps
+  /// its fallback-guarded attempts (n <= kSweepWidthCap) to 2^(n-8), so
+  /// an unfriendly network aborts after a tiny fraction of sweep work.
+  std::uint64_t frontier_budget = kDefaultFrontierBudget;
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancellation/deadline hook: the frontier engine calls
+  /// it once per level, the sweep once per lane block (concurrently from
+  /// pool workers when a pool is set). Exceptions propagate.
+  std::function<void()> progress;
+};
+
+/// Exhaustively checks all 2^n 0/1 vectors (n <= kSweepWidthCap
+/// enforced). Pass a pool to tile vector blocks over its workers. For
+/// the register model the output is checked in register order (sorted
+/// register contents), matching the convention that shuffle-compiled
+/// sorters finish in register order. These overloads dispatch through
+/// CertifyEngine::Auto, so frontier-friendly networks up to
+/// kFrontierWidthCap certify too.
 ZeroOneReport zero_one_check(const ComparatorNetwork& net,
                              ThreadPool* pool = nullptr);
 ZeroOneReport zero_one_check(const RegisterNetwork& net,
@@ -50,6 +96,20 @@ ZeroOneReport zero_one_check(const RegisterNetwork& net,
 /// paying compilation again (batch certification, benches).
 ZeroOneReport zero_one_check(const CompiledNetwork& net,
                              ThreadPool* pool = nullptr);
+
+/// The hybrid dispatcher: certify with an explicit engine choice,
+/// budget, and progress hook. All engines return the same sorts_all and
+/// the same MINIMAL failing vector (tests/test_frontier.cpp); they
+/// differ only in reachable width and speed. Throws std::invalid_argument
+/// past an engine's width cap (the message names the engine, its cap
+/// and the requested n) and std::runtime_error when a forced frontier
+/// run exhausts its budget.
+ZeroOneReport zero_one_check(const CompiledNetwork& net,
+                             const CertifyOptions& opts);
+ZeroOneReport zero_one_check(const ComparatorNetwork& net,
+                             const CertifyOptions& opts);
+ZeroOneReport zero_one_check(const RegisterNetwork& net,
+                             const CertifyOptions& opts);
 
 /// Convenience wrapper: true iff the network sorts everything.
 bool is_sorting_network(const ComparatorNetwork& net,
@@ -65,12 +125,16 @@ bool is_sorting_network(const RegisterNetwork& net,
 /// vectors, that every weight class maps to a single output and that the
 /// outputs form a nested chain; on success returns `ranks` with
 /// ranks[w] = final rank of wire w (ranks == identity iff the strict
-/// check would also pass).
+/// check would also pass). n <= kSweepWidthCap enforced; pass a pool to
+/// shard the sweep (per-shard expected tables, merged at the end - the
+/// result is identical to the sequential path).
 struct RelabelReport {
   bool sorts = false;
   std::optional<Permutation> ranks;
 };
-RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net);
-RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net);
+RelabelReport zero_one_check_up_to_relabel(const ComparatorNetwork& net,
+                                           ThreadPool* pool = nullptr);
+RelabelReport zero_one_check_up_to_relabel(const RegisterNetwork& net,
+                                           ThreadPool* pool = nullptr);
 
 }  // namespace shufflebound

@@ -60,6 +60,19 @@ class CompiledNetwork {
   std::span<const wire_t> output_order() const noexcept {
     return output_order_;
   }
+  /// Raw op table, for engines that walk ops level by level (the
+  /// frontier certifier): op i takes min into min_slots()[i] and max
+  /// into max_slots()[i]; level l owns ops [level_offsets()[l],
+  /// level_offsets()[l+1]). Empty networks have an empty offsets span.
+  std::span<const std::uint32_t> min_slots() const noexcept {
+    return min_slot_;
+  }
+  std::span<const std::uint32_t> max_slots() const noexcept {
+    return max_slot_;
+  }
+  std::span<const std::uint32_t> level_offsets() const noexcept {
+    return level_offsets_;
+  }
 
   /// Packed 0/1 kernel: words[slot] holds one packed bit per test
   /// vector for the value starting in slot (= wire/register) `slot`.

@@ -1,0 +1,276 @@
+#include "sim/frontier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace shufflebound {
+
+namespace {
+
+/// One reachable partial state plus the minimal input vector reaching
+/// it. Both words use GLOBAL slot/wire bit positions; a component only
+/// sets bits inside its slot mask. Ordered by (state, min_input) so a
+/// sort followed by unique-by-state keeps the minimal input per state.
+struct Entry {
+  std::uint64_t state;
+  std::uint64_t min_input;
+};
+
+bool operator<(const Entry& a, const Entry& b) {
+  return a.state < b.state ||
+         (a.state == b.state && a.min_input < b.min_input);
+}
+
+bool same_state(const Entry& a, const Entry& b) { return a.state == b.state; }
+
+/// One component of the frontier product: the slots some comparator
+/// chain has connected, with the explicit set of partial states
+/// reachable on them. Dead components (absorbed by a merge) have
+/// live = false and empty entries.
+struct Component {
+  std::uint64_t slot_mask = 0;
+  std::vector<Entry> entries;
+  bool live = false;
+};
+
+/// Below this size a serial sort beats sharding overhead comfortably.
+constexpr std::size_t kParallelDedupMin = std::size_t{1} << 15;
+constexpr unsigned kDedupShardBits = 6;  // 64 shards
+
+/// Sorts `entries` by (state, min_input) and drops duplicate states,
+/// keeping the minimal input of each. The pooled path range-partitions
+/// by the leading bits of the component's states, sort-uniques each
+/// shard via parallel_for, and concatenates in shard order - bitwise
+/// identical to the serial path regardless of scheduling, because the
+/// partition is a prefix split of the very order being sorted.
+void sort_unique(std::vector<Entry>& entries, std::uint64_t slot_mask,
+                 ThreadPool* pool, std::uint64_t& dedup_removed) {
+  const std::size_t before = entries.size();
+  if (pool == nullptr || before < kParallelDedupMin) {
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end(), same_state),
+                  entries.end());
+    dedup_removed += before - entries.size();
+    return;
+  }
+  const unsigned hi_bit = static_cast<unsigned>(std::bit_width(slot_mask));
+  const unsigned shift =
+      hi_bit > kDedupShardBits ? hi_bit - kDedupShardBits : 0;
+  const std::size_t shards = std::size_t{1} << kDedupShardBits;
+  std::vector<std::size_t> offsets(shards + 1, 0);
+  for (const Entry& e : entries) ++offsets[(e.state >> shift) + 1];
+  for (std::size_t s = 0; s < shards; ++s) offsets[s + 1] += offsets[s];
+  std::vector<Entry> scratch(before);
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Entry& e : entries) scratch[cursor[e.state >> shift]++] = e;
+  }
+  std::vector<std::size_t> kept(shards, 0);
+  pool->parallel_for(0, shards, [&](std::size_t s) {
+    const auto first = scratch.begin() + static_cast<std::ptrdiff_t>(offsets[s]);
+    const auto last =
+        scratch.begin() + static_cast<std::ptrdiff_t>(offsets[s + 1]);
+    std::sort(first, last);
+    kept[s] = static_cast<std::size_t>(
+        std::distance(first, std::unique(first, last, same_state)));
+  });
+  entries.clear();
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto first = scratch.begin() + static_cast<std::ptrdiff_t>(offsets[s]);
+    entries.insert(entries.end(), first,
+                   first + static_cast<std::ptrdiff_t>(kept[s]));
+  }
+  dedup_removed += before - entries.size();
+}
+
+/// Cross product of two components' state sets, OR-ing states and
+/// min-inputs (valid and still minimal because the components occupy
+/// disjoint bit positions). Returns false - touching nothing - when the
+/// product would exceed the budget; the caller reports incompleteness.
+/// The product of two duplicate-free sets is duplicate-free, so no
+/// dedup is owed here; the level's dedup restores sortedness.
+bool merge_into(Component& dst, Component& src, std::uint64_t budget,
+                std::uint64_t& states_expanded) {
+  const std::uint64_t a = dst.entries.size();
+  const std::uint64_t b = src.entries.size();
+  if (b != 0 && a > budget / b) return false;
+  std::vector<Entry> product;
+  product.reserve(static_cast<std::size_t>(a * b));
+  for (const Entry& ea : dst.entries)
+    for (const Entry& eb : src.entries)
+      product.push_back(
+          {ea.state | eb.state, ea.min_input | eb.min_input});
+  states_expanded += product.size();
+  dst.entries = std::move(product);
+  dst.slot_mask |= src.slot_mask;
+  src = Component{};
+  return true;
+}
+
+}  // namespace
+
+FrontierReport frontier_zero_one_check(const CompiledNetwork& net,
+                                       const FrontierOptions& opts) {
+  const wire_t n = net.width();
+  if (n > kFrontierWidthCap)
+    throw std::invalid_argument(
+        "frontier_zero_one_check: n=" + std::to_string(n) +
+        " exceeds the frontier engine cap (n <= " +
+        std::to_string(kFrontierWidthCap) + ")");
+  SB_OBS_SPAN("kernel", "frontier_check");
+  SB_OBS_COUNT("kernel.frontier_runs", 1);
+
+  FrontierReport report;
+  if (n == 0) {
+    report.completed = true;
+    report.sorts_all = true;
+    return report;
+  }
+  const std::uint64_t budget = opts.budget == 0 ? 1 : opts.budget;
+
+  // The full 2^n input cube as a product of n independent single-slot
+  // components: slot w starts holding wire w's input, so state bit w and
+  // min-input bit w coincide at this point and min-input words stay
+  // wire-indexed forever after (ops rewrite states, never provenance).
+  std::vector<Component> comps(n);
+  std::vector<std::uint32_t> comp_of(n);
+  for (wire_t w = 0; w < n; ++w) {
+    const std::uint64_t bit = std::uint64_t{1} << w;
+    comps[w].slot_mask = bit;
+    comps[w].entries = {{0, 0}, {bit, bit}};
+    comps[w].live = true;
+    comp_of[w] = w;
+  }
+
+  const auto finish_stats = [&report] {
+    SB_OBS_COUNT("kernel.frontier_states_expanded", report.states_expanded);
+    SB_OBS_COUNT("kernel.frontier_dedup_removed", report.dedup_removed);
+    SB_OBS_GAUGE("kernel.frontier_peak_states", report.peak_states);
+  };
+  const auto incomplete = [&]() -> FrontierReport {
+    SB_OBS_COUNT("kernel.frontier_incomplete", 1);
+    finish_stats();
+    return report;
+  };
+
+  const std::span<const std::uint32_t> mins = net.min_slots();
+  const std::span<const std::uint32_t> maxs = net.max_slots();
+  const std::span<const std::uint32_t> offsets = net.level_offsets();
+  const std::size_t levels = net.level_count();
+  std::vector<std::uint32_t> touched;
+  std::vector<char> is_touched(n, 0);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> comp_ops;
+
+  for (std::size_t level = 0; level < levels; ++level) {
+    if (opts.progress) opts.progress();
+    const std::size_t lo = offsets[level];
+    const std::size_t hi = offsets[level + 1];
+
+    // Merge phase: every op must see both endpoints in one component
+    // before states move. Each cross product is budget-checked before
+    // any allocation, so an over-budget abort costs nothing.
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t keep = comp_of[mins[i]];
+      const std::uint32_t drop = comp_of[maxs[i]];
+      if (keep == drop) continue;
+      if (!merge_into(comps[keep], comps[drop], budget,
+                      report.states_expanded))
+        return incomplete();
+      for (wire_t s = 0; s < n; ++s)
+        if (comp_of[s] == drop) comp_of[s] = keep;
+    }
+
+    // Apply phase: gather this level's ops per component and rewrite
+    // every entry. A comparator on 0/1 values only acts when the
+    // min-slot holds 1 and the max-slot holds 0 - then it swaps them.
+    touched.clear();
+    std::fill(is_touched.begin(), is_touched.end(), 0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t c = comp_of[mins[i]];
+      if (is_touched[c] == 0) {
+        is_touched[c] = 1;
+        touched.push_back(c);
+      }
+    }
+    for (const std::uint32_t c : touched) {
+      Component& comp = comps[c];
+      comp_ops.clear();
+      for (std::size_t i = lo; i < hi; ++i)
+        if (comp_of[mins[i]] == c) comp_ops.emplace_back(mins[i], maxs[i]);
+      for (Entry& e : comp.entries) {
+        std::uint64_t s = e.state;
+        for (const auto& [mn, mx] : comp_ops) {
+          if ((s >> mn & 1ull) > (s >> mx & 1ull))
+            s ^= (std::uint64_t{1} << mn) | (std::uint64_t{1} << mx);
+        }
+        e.state = s;
+      }
+      report.states_expanded += comp.entries.size();
+      sort_unique(comp.entries, comp.slot_mask, opts.pool,
+                  report.dedup_removed);
+    }
+
+    std::uint64_t live_total = 0;
+    for (const Component& comp : comps)
+      if (comp.live) live_total += comp.entries.size();
+    if (live_total > report.peak_states) report.peak_states = live_total;
+    ++report.levels_processed;
+  }
+
+  if (opts.progress) opts.progress();
+
+  // Final check: the network sorts iff every state in the FULL product
+  // of the remaining components reads sorted through output_order().
+  // Predict the product size before materializing anything - wires no
+  // comparator ever touched contribute a factor of 2 each, and e.g. an
+  // empty network would otherwise ask for all 2^n states right here.
+  std::uint64_t predicted = 1;
+  for (const Component& comp : comps) {
+    if (!comp.live) continue;
+    const std::uint64_t size = comp.entries.size();
+    if (size != 0 && predicted > budget / size) return incomplete();
+    predicted *= size;
+  }
+  std::uint32_t root = UINT32_MAX;
+  for (wire_t s = 0; s < n; ++s) {
+    const std::uint32_t c = comp_of[s];
+    if (root == UINT32_MAX) {
+      root = c;
+    } else if (c != root && comps[c].live) {
+      // Cannot fail: each progressive product divides `predicted`.
+      if (!merge_into(comps[root], comps[c], budget,
+                      report.states_expanded))
+        return incomplete();
+      for (wire_t t = 0; t < n; ++t)
+        if (comp_of[t] == c) comp_of[t] = root;
+    }
+  }
+  if (comps[root].entries.size() > report.peak_states)
+    report.peak_states = comps[root].entries.size();
+
+  const std::span<const wire_t> order = net.output_order();
+  std::uint64_t min_failing = UINT64_MAX;
+  for (const Entry& e : comps[root].entries) {
+    for (wire_t p = 0; p + 1 < n; ++p) {
+      // Unsorted = a 1 at some output position followed by a 0.
+      if ((e.state >> order[p] & 1ull) > (e.state >> order[p + 1] & 1ull)) {
+        if (e.min_input < min_failing) min_failing = e.min_input;
+        break;
+      }
+    }
+  }
+  report.completed = true;
+  report.sorts_all = min_failing == UINT64_MAX;
+  if (!report.sorts_all) report.failing_vector = min_failing;
+  finish_stats();
+  return report;
+}
+
+}  // namespace shufflebound

@@ -1,0 +1,98 @@
+// Frontier-based 0-1 certification: reachable-set propagation that
+// breaks the 2^n wall for structured networks.
+//
+// The wide-lane sweep (sim/bitparallel.hpp) enumerates all 2^n 0-1 test
+// vectors, which caps it at n <= 30. But a comparator network collapses
+// its reachable state space as levels apply: a sorting network ends at
+// the n+1 sorted vectors, and structured families (bitonic, odd-even
+// mergesort, shuffle-compiled sorters) stay collapsed THROUGHOUT -
+// before the final merge of a 2^5-wire bitonic sorter the reachable set
+// is 33 x 33 = 1089 states, not 2^32. This engine propagates the SET of
+// reachable 0-1 vectors instead of the vectors themselves, the same
+// state-set technique behind modern sorting-network search (Bundala &
+// Zavodny; Codish et al.).
+//
+// Two ideas make the initial set (all 2^n inputs) representable:
+//
+//  * Independence tracking. Wires that no comparator has yet connected
+//    are statistically independent, so the frontier is stored as a
+//    PRODUCT of per-component sets: a union-find over compiled slots,
+//    each component owning an explicit sorted vector of partial states
+//    (bits at the component's global slot positions). The run starts
+//    with n singleton components of two states each - total size 2n,
+//    product 2^n - and components merge (cross product, budget-checked
+//    BEFORE allocation) only when a comparator spans them.
+//  * Level-synchronous dedup. After each level's ops are applied to a
+//    component, its states are sorted and deduplicated, so the set
+//    never carries a state twice. Large components shard the sort over
+//    ThreadPool::parallel_for (range partition by leading state bits,
+//    so concatenating sorted shards is globally sorted).
+//
+// Witness determinism: every entry carries the MINIMAL input vector
+// reaching its state. Dedup keeps the minimum over merged entries, and
+// a cross product sums minima (component inputs occupy disjoint bits),
+// so when the final frontier holds an unsorted state, the minimum over
+// bad states of their min-inputs is exactly the minimal failing 0-1
+// input - bit for bit the vector the wide-lane sweep reports.
+// tests/test_frontier.cpp holds all engines to that agreement.
+//
+// The hybrid dispatcher (certify-capable zero_one_check overloads) that
+// picks between this engine and the sweep lives in sim/bitparallel.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/compiled_net.hpp"
+#include "util/thread_pool.hpp"
+
+namespace shufflebound {
+
+/// Widest network the frontier engine accepts: states and min-input
+/// provenance are packed into one 64-bit word each, and the documented
+/// contract stops at 48 so budget arithmetic stays far from overflow.
+inline constexpr wire_t kFrontierWidthCap = 48;
+
+/// Default cap on any single materialized state set (a component after a
+/// merge or a level). ~2^26 entries = 1 GiB of (state, min_input) pairs
+/// at peak; structured networks stay orders of magnitude below it.
+inline constexpr std::uint64_t kDefaultFrontierBudget = std::uint64_t{1}
+                                                        << 26;
+
+struct FrontierOptions {
+  /// Abandon the pass (completed = false) as soon as any component's
+  /// state set would exceed this many entries. Checked before the
+  /// allocation, so an over-budget abort is cheap.
+  std::uint64_t budget = kDefaultFrontierBudget;
+  /// Shards per-component dedup over the pool when a set is large.
+  /// Results are identical with and without a pool.
+  ThreadPool* pool = nullptr;
+  /// Invoked once per level (and once before the final check) - the
+  /// hook cooperative deadlines use; exceptions propagate to the caller.
+  std::function<void()> progress;
+};
+
+struct FrontierReport {
+  /// False when the budget aborted the pass; every other field except
+  /// the stats is then meaningless and the caller must fall back.
+  bool completed = false;
+  bool sorts_all = false;
+  /// Minimal failing 0-1 input vector, identical to the sweep's.
+  std::optional<std::uint64_t> failing_vector;
+  /// Peak of the summed live-component sizes after any level.
+  std::uint64_t peak_states = 0;
+  /// Entries written across all levels (merge products + op passes).
+  std::uint64_t states_expanded = 0;
+  /// Entries removed by per-level dedup (the collapse the engine rides).
+  std::uint64_t dedup_removed = 0;
+  std::size_t levels_processed = 0;
+};
+
+/// Runs the frontier pass over a compiled network (any model compiles;
+/// output order is respected, matching the sweep's sortedness check).
+/// Throws std::invalid_argument when net.width() > kFrontierWidthCap.
+FrontierReport frontier_zero_one_check(const CompiledNetwork& net,
+                                       const FrontierOptions& opts = {});
+
+}  // namespace shufflebound

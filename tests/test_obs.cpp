@@ -24,6 +24,7 @@
 #include "service/json.hpp"
 #include "sim/bitparallel.hpp"
 #include "sim/batch.hpp"
+#include "sim/simd.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -212,6 +213,35 @@ TEST_F(ObsTest, MinimalFailingVectorIdenticalWithTracingOnAndOff) {
   ASSERT_TRUE(on.failing_vector.has_value());
   EXPECT_EQ(*on.failing_vector, *off.failing_vector);
   EXPECT_EQ(on.vectors_checked, off.vectors_checked);
+}
+
+// kernel.vectors_evaluated must count the vectors the sweep actually
+// ran through the kernel, not the full 2^n it would have needed without
+// early exit: a complete pass over a sorter charges exactly 2^n, while
+// a run that stops at the first failing block charges a whole number of
+// lane blocks strictly below 2^n.
+TEST_F(ObsTest, VectorsEvaluatedCountsOnlyEvaluatedBlocks) {
+  obs::set_enabled(true);
+  const ZeroOneReport sorted = zero_one_check(bitonic_sorting_network(16));
+  ASSERT_TRUE(sorted.sorts_all);
+  EXPECT_EQ(obs::counter("kernel.vectors_evaluated").value(),
+            std::uint64_t{1} << 16);
+
+  obs::reset();
+  const ComparatorNetwork broken =
+      drop_one_comparator(bitonic_sorting_network(16), 3);
+  CertifyOptions sweep_serial;
+  sweep_serial.engine = CertifyEngine::Sweep;
+  const ZeroOneReport failed = zero_one_check(broken, sweep_serial);
+  ASSERT_FALSE(failed.sorts_all);
+  ASSERT_TRUE(failed.failing_vector.has_value());
+  const std::uint64_t evaluated =
+      obs::counter("kernel.vectors_evaluated").value();
+  // The serial sweep scans blocks in ascending order and stops at the
+  // block holding the minimal failing vector.
+  EXPECT_EQ(evaluated,
+            (*failed.failing_vector / simd::kLaneBits + 1) * simd::kLaneBits);
+  EXPECT_LT(evaluated, std::uint64_t{1} << 16);
 }
 
 TEST_F(ObsTest, EngineTelemetryCarriesMetricsOnlyWhenEnabled) {

@@ -3,12 +3,15 @@
 // assignment (zero_one_check_up_to_relabel).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/search.hpp"
 #include "sim/bitparallel.hpp"
 #include "networks/batcher.hpp"
 #include "networks/shuffle.hpp"
 #include "routing/benes.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace shufflebound {
 namespace {
@@ -81,8 +84,39 @@ TEST(Relabel, RegisterModelOverload) {
 }
 
 TEST(Relabel, WidthGuard) {
-  EXPECT_THROW(zero_one_check_up_to_relabel(ComparatorNetwork(25)),
+  // The relabel sweep shares the sweep engine's n <= 30 cap.
+  EXPECT_THROW(zero_one_check_up_to_relabel(ComparatorNetwork(31)),
                std::invalid_argument);
+}
+
+TEST(Relabel, PooledSweepMatchesSerial) {
+  // The sharded pool sweep must agree with the serial one exactly: same
+  // verdict and the same recovered rank permutation for sorters, same
+  // rejection for non-sorters and for the divergence-heavy route case.
+  ThreadPool pool(4);
+
+  Prng rng(1);
+  const Permutation shuffle_out = shuffle_permutation(8);
+  ComparatorNetwork permuted(8);
+  permuted.append(bitonic_sorting_network(8));
+  permuted.append(benes_route(shuffle_out));
+  const auto serial = zero_one_check_up_to_relabel(permuted);
+  const auto pooled = zero_one_check_up_to_relabel(permuted, &pool);
+  ASSERT_TRUE(serial.sorts);
+  ASSERT_TRUE(pooled.sorts);
+  EXPECT_TRUE(std::ranges::equal(pooled.ranks->image(), serial.ranks->image()));
+
+  Prng rng2(2);
+  const auto shallow = random_shuffle_network(8, 3, rng2);
+  EXPECT_FALSE(zero_one_check_up_to_relabel(shallow, &pool).sorts);
+  EXPECT_FALSE(
+      zero_one_check_up_to_relabel(benes_route(shuffle_out), &pool).sorts);
+
+  // A width where the pool actually shards across many blocks.
+  const auto big = zero_one_check_up_to_relabel(bitonic_sorting_network(16),
+                                                &pool);
+  ASSERT_TRUE(big.sorts);
+  EXPECT_TRUE(big.ranks->is_identity());
 }
 
 }  // namespace

@@ -34,6 +34,10 @@ namespace {
 struct GateResult {
   std::size_t checked = 0;
   std::vector<std::string> failures;
+  // Per-metric delta summary for everything that failed, keyed by the
+  // offending baseline entry ("E17.kernel_wide_mvps_n24 -46.7% ..."),
+  // so the CI log names exactly which bench/baseline.json key tripped.
+  std::vector<std::string> deltas;
 };
 
 /// Gates one report document against the baseline root. `label` names
@@ -61,10 +65,15 @@ GateResult check_report(const JsonValue& baseline, const JsonValue& report,
                                 " is not a number");
       continue;
     }
+    const std::string key = experiment->as_string() + "." + name;
     const JsonValue* value = metrics->find(name);
     if (value == nullptr || !value->is_number()) {
       result.failures.push_back(label + ": metric " + name +
                                 " missing from report");
+      std::ostringstream delta;
+      delta << key << " missing (floor " << floor.as_double() << ", report "
+            << label << ")";
+      result.deltas.push_back(delta.str());
       continue;
     }
     ++result.checked;
@@ -75,6 +84,13 @@ GateResult check_report(const JsonValue& baseline, const JsonValue& report,
           << " < " << gate << " (floor " << floor.as_double()
           << ", tolerance " << tolerance << ")";
       result.failures.push_back(msg.str());
+      std::ostringstream delta;
+      delta.precision(1);
+      delta << key << " " << std::fixed
+            << (value->as_double() / floor.as_double() - 1.0) * 100.0
+            << "% (value " << std::defaultfloat << value->as_double()
+            << ", floor " << floor.as_double() << ", report " << label << ")";
+      result.deltas.push_back(delta.str());
     } else {
       std::printf("%s: %s = %g (floor %g) ok\n", label.c_str(), name.c_str(),
                   value->as_double(), floor.as_double());
@@ -106,14 +122,23 @@ int self_test() {
                    "self-test", 0.30);
   expect(r.failures.empty(), "value within tolerance must pass");
 
-  // Regression beyond tolerance fails.
+  // Regression beyond tolerance fails, and the delta summary names the
+  // offending baseline key with the percentage drop.
   r = check_report(baseline, report(R"({"rate":69,"speedup":2})"),
                    "self-test", 0.30);
   expect(r.failures.size() == 1, "regressed metric must fail");
+  expect(r.deltas.size() == 1 &&
+             r.deltas[0].find("E99.rate") != std::string::npos &&
+             r.deltas[0].find("-31.0%") != std::string::npos,
+         "delta summary must name the baseline key and drop");
 
   // Baseline metric missing from the report fails.
   r = check_report(baseline, report(R"({"rate":100})"), "self-test", 0.30);
   expect(r.failures.size() == 1, "missing metric must fail");
+  expect(r.deltas.size() == 1 &&
+             r.deltas[0].find("E99.speedup") != std::string::npos &&
+             r.deltas[0].find("missing") != std::string::npos,
+         "missing-metric delta must name the baseline key");
 
   // Extra report metrics are informational; unknown experiment skips.
   r = check_report(baseline, report(R"({"rate":100,"speedup":2,"new":1})"),
@@ -195,6 +220,7 @@ int run(int argc, char** argv) {
 
   std::size_t checked = 0;
   std::vector<std::string> failures;
+  std::vector<std::string> deltas;
   for (const std::string& path : reports) {
     JsonValue report;
     if (!load(path, report)) return 2;
@@ -202,11 +228,17 @@ int run(int argc, char** argv) {
     checked += result.checked;
     failures.insert(failures.end(), result.failures.begin(),
                     result.failures.end());
+    deltas.insert(deltas.end(), result.deltas.begin(), result.deltas.end());
   }
 
   if (!failures.empty()) {
     for (const std::string& f : failures)
       std::fprintf(stderr, "FAIL %s\n", f.c_str());
+    // Delta summary: one line per offending bench/baseline.json key, so
+    // the fix (re-measure or lower the floor) can be targeted directly.
+    std::fprintf(stderr, "offending baseline keys:\n");
+    for (const std::string& d : deltas)
+      std::fprintf(stderr, "  %s\n", d.c_str());
     std::fprintf(stderr, "bench_regress: %zu failure(s), %zu metrics gated\n",
                  failures.size(), checked);
     return 1;
