@@ -1,0 +1,31 @@
+// Minimal client for the analysis server: connects, forwards JSONL
+// request lines from a stream, and prints each response line as it
+// arrives. Responses are written by the server in request order, so the
+// output stream is exactly what `batch` would print for the same lines.
+//
+// Used by `shufflebound_cli connect` and by the server tests/benches.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace shufflebound {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Connects a raw TCP socket to host:port; returns the fd or -1.
+int client_connect(const ClientConfig& config);
+
+/// Sends every line of `in` (a trailing unterminated line included),
+/// half-closes the write side, then copies response lines to `out` until
+/// the server closes. Returns 0 when one response arrived per request,
+/// 1 on connect/socket failure or a short response stream.
+int run_client(const ClientConfig& config, std::istream& in,
+               std::ostream& out);
+
+}  // namespace shufflebound

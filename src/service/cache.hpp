@@ -46,6 +46,11 @@ struct CacheKeyHash {
   }
 };
 
+/// The in-memory result cache - and the extension point for layered
+/// caches: lookup/insert/invalidate are virtual so a subclass can stack
+/// further tiers below the map (the server's disk-backed cache,
+/// src/server/diskcache.hpp, overrides all three and uses this class as
+/// its memory tier). The engine only ever talks to the base interface.
 class ResultCache {
  public:
   struct Stats {
@@ -55,17 +60,19 @@ class ResultCache {
     std::uint64_t entries = 0;
   };
 
-  /// Returns the cached payload, counting a hit or miss.
-  std::optional<JsonValue> lookup(const CacheKey& key);
+  virtual ~ResultCache() = default;
 
-  void insert(const CacheKey& key, JsonValue payload);
+  /// Returns the cached payload, counting a hit or miss.
+  virtual std::optional<JsonValue> lookup(const CacheKey& key);
+
+  virtual void insert(const CacheKey& key, JsonValue payload);
 
   /// Drops an entry that failed re-validation; counts an invalidation.
-  void invalidate(const CacheKey& key);
+  virtual void invalidate(const CacheKey& key);
 
   Stats stats() const;
 
-  JsonValue stats_to_json() const;
+  virtual JsonValue stats_to_json() const;
 
  private:
   mutable std::shared_mutex mutex_;

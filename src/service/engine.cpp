@@ -394,6 +394,29 @@ bool AnalysisEngine::submit(JobSpec spec) {
   return queue_.push(std::move(spec));
 }
 
+AnalysisEngine::Admission AnalysisEngine::try_submit_for(
+    JobSpec spec, std::chrono::milliseconds wait) {
+  if (finished_) return Admission::Closed;
+  // The seq is only consumed on success: a rejected job must not leave a
+  // hole in the sequence, or the in-order emit buffer would stall forever
+  // waiting for a result that never comes. Safe because submission is
+  // single-producer by contract.
+  spec.seq = next_seq_;
+  if (obs::enabled()) spec.submit_us = obs::now_us();
+  const std::size_t kind_index = static_cast<std::size_t>(spec.kind);
+  switch (queue_.try_push_until(std::move(spec),
+                                std::chrono::steady_clock::now() + wait)) {
+    case QueuePush::Ok:
+      ++next_seq_;
+      telemetry_.kind(kind_index).submitted.fetch_add(
+          1, std::memory_order_relaxed);
+      return Admission::Accepted;
+    case QueuePush::Timeout: return Admission::QueueFull;
+    case QueuePush::Closed: return Admission::Closed;
+  }
+  return Admission::Closed;  // unreachable
+}
+
 void AnalysisEngine::finish() {
   if (finished_) return;
   finished_ = true;
@@ -532,6 +555,9 @@ void AnalysisEngine::process(JobSpec spec) {
   } else {
     result = execute(spec, deadline);
   }
+
+  // Route tag for multiplexed sinks (the server); pure passthrough.
+  result->client_tag = spec.client_tag;
 
   if (result->ok) {
     tk.completed.fetch_add(1, std::memory_order_relaxed);

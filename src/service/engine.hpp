@@ -74,6 +74,17 @@ class AnalysisEngine {
   /// from one thread at a time (seq assignment orders the output).
   bool submit(JobSpec spec);
 
+  /// Outcome of try_submit_for - the admission-control verdict the server
+  /// turns into a structured `overloaded` / `draining` wire response.
+  enum class Admission : std::uint8_t { Accepted, QueueFull, Closed };
+
+  /// Like submit(), but waits for queue space at most `wait` instead of
+  /// blocking indefinitely: QueueFull means the engine stayed saturated
+  /// for the whole window and the job was dropped (no seq consumed, so
+  /// result ordering is unaffected), Closed means finish() has begun.
+  /// Same single-producer contract as submit().
+  Admission try_submit_for(JobSpec spec, std::chrono::milliseconds wait);
+
   /// Closes the queue, drains remaining jobs, and joins the workers. The
   /// sink has seen every submitted job when this returns. Idempotent.
   void finish();

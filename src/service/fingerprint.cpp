@@ -83,6 +83,27 @@ Fingerprint FingerprintHasher::finish() const noexcept {
   return Fingerprint{hi, lo};
 }
 
+std::array<std::uint8_t, 16> Fingerprint::to_bytes() const noexcept {
+  // Explicit shifts, not memcpy: the layout must be little-endian even on
+  // a big-endian host, because cache files travel between machines.
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(lo >> (8 * i));
+    bytes[8 + i] = static_cast<std::uint8_t>(hi >> (8 * i));
+  }
+  return bytes;
+}
+
+Fingerprint Fingerprint::from_bytes(
+    const std::array<std::uint8_t, 16>& bytes) noexcept {
+  Fingerprint fp;
+  for (std::size_t i = 0; i < 8; ++i) {
+    fp.lo |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    fp.hi |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+  }
+  return fp;
+}
+
 std::string Fingerprint::to_hex() const {
   char buf[33];
   std::snprintf(buf, sizeof buf, "%016llx%016llx",

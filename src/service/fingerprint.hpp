@@ -20,6 +20,7 @@
 // accidental collision negligible at any realistic sweep size.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -37,6 +38,16 @@ struct Fingerprint {
 
   /// 32 lowercase hex characters, hi word first.
   std::string to_hex() const;
+
+  /// Pinned on-disk layout: bytes 0..7 are `lo` little-endian, bytes
+  /// 8..15 are `hi` little-endian, on every platform. The persistent
+  /// result cache (src/server/diskcache.hpp) keys its records with these
+  /// bytes, so this layout - like the hash itself - is a compatibility
+  /// contract: changing either silently orphans (or worse, poisons) every
+  /// cache file ever written. tests/test_service_fingerprint.cpp pins
+  /// both with golden values.
+  std::array<std::uint8_t, 16> to_bytes() const noexcept;
+  static Fingerprint from_bytes(const std::array<std::uint8_t, 16>& bytes) noexcept;
 };
 
 /// Streaming two-lane hasher; absorb 64-bit words, then finish().

@@ -64,6 +64,11 @@ struct JobSpec {
   /// AnalysisEngine::submit when tracing is enabled, so the worker can
   /// record the queue wait as a span. 0 = untracked. Never serialized.
   std::uint64_t submit_us = 0;
+  /// Opaque routing tag echoed into JobResult::client_tag - the server
+  /// packs (connection id, per-connection ticket) here so its shared
+  /// result sink can route each result back to the right connection in
+  /// request order. The engine never interprets it; never serialized.
+  std::uint64_t client_tag = 0;
 };
 
 /// Parses one JSONL job line (never throws; see header comment).
@@ -95,6 +100,7 @@ struct JobResult {
   JsonValue payload;      // kind-specific object when ok; lint jobs also
                           // carry their diagnostics here on failure
   bool from_cache = false;  // telemetry only; never serialized
+  std::uint64_t client_tag = 0;  // echo of JobSpec::client_tag; never serialized
 
   /// The JSONL result line (no trailing newline). Deterministic: contains
   /// id, op, ok and payload/error only (failed lint jobs carry both).

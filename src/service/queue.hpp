@@ -4,14 +4,22 @@
 // block while the queue is empty and drain the remainder after close().
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 namespace shufflebound {
+
+/// Outcome of a deadline-bounded push attempt. `Timeout` is the admission
+/// control signal: the queue stayed full for the whole wait, so the caller
+/// should reject the work (e.g. the server's structured `overloaded`
+/// response) instead of blocking forever.
+enum class QueuePush : std::uint8_t { Ok, Timeout, Closed };
 
 template <typename T>
 class BoundedQueue {
@@ -34,6 +42,28 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Like push(), but waits for queue space only until `deadline`
+  /// (steady_clock). Returns Ok when the item was enqueued, Timeout when
+  /// the queue stayed full past the deadline (the item is dropped), and
+  /// Closed when the queue is or became closed during the wait - close()
+  /// wakes a parked timed push immediately, before its deadline. A
+  /// deadline already in the past degrades to a non-blocking try-push.
+  QueuePush try_push_until(T item,
+                           std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_until(lock, deadline, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return QueuePush::Timeout;
+    }
+    if (closed_) return QueuePush::Closed;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueuePush::Ok;
   }
 
   /// Blocks while the queue is empty and open. Returns nullopt once the

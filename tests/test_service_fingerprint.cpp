@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cctype>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -140,6 +142,49 @@ TEST(Fingerprint, DistinctNetworksRarelyCollide) {
   }
   std::sort(seen.begin(), seen.end());
   EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+// ---- persistence contract -------------------------------------------
+//
+// The disk-backed result cache (src/server/diskcache.hpp) writes
+// fingerprints into cache files with Fingerprint::to_bytes and trusts the
+// hash itself to stay stable across builds and platforms. These goldens
+// pin both; a change here is a cache-format break, not a refactor.
+
+TEST(FingerprintBytes, LayoutIsPinnedLittleEndian) {
+  const Fingerprint fp{/*hi=*/0x1122334455667788ull,
+                       /*lo=*/0x99AABBCCDDEEFF00ull};
+  const std::array<std::uint8_t, 16> bytes = fp.to_bytes();
+  // Bytes 0..7: lo little-endian.
+  const std::array<std::uint8_t, 16> expected = {
+      0x00, 0xFF, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99,
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11};
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(FingerprintBytes, RoundTripsExactly) {
+  const Fingerprint fp{0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull};
+  EXPECT_EQ(Fingerprint::from_bytes(fp.to_bytes()), fp);
+  const Fingerprint zero{};
+  EXPECT_EQ(Fingerprint::from_bytes(zero.to_bytes()), zero);
+}
+
+TEST(FingerprintBytes, GoldenNetworkHashIsStable) {
+  // Golden value for a tiny fixed circuit. If this fails, the hash
+  // function changed and every persistent cache file is orphaned: bump
+  // the disk-cache format rather than silently mixing old and new keys.
+  ComparatorNetwork net(4);
+  net.add_level(
+      {Gate(0, 1, GateOp::CompareAsc), Gate(2, 3, GateOp::CompareAsc)});
+  net.add_level({Gate(1, 2, GateOp::CompareDesc)});
+  EXPECT_EQ(fingerprint(net).to_hex(), "cfc20cb8b566e979cddfcd7b7ec6018a");
+}
+
+TEST(FingerprintBytes, GoldenHasherWordsAreStable) {
+  FingerprintHasher h;
+  h.absorb(0x0123456789ABCDEFull);
+  h.absorb(42);
+  EXPECT_EQ(h.finish().to_hex(), "53ca44598b6197c19b9655b6ea37e3b9");
 }
 
 TEST(FingerprintHasher, OrderAndContentSensitive) {

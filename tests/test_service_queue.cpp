@@ -142,6 +142,64 @@ TEST(BoundedQueue, HighWaterTracksMaxDepth) {
   EXPECT_EQ(q.depth(), 2u);
 }
 
+TEST(BoundedQueue, TryPushUntilSucceedsImmediatelyWithSpace) {
+  BoundedQueue<int> q(2);
+  const auto deadline = std::chrono::steady_clock::now();  // already past
+  EXPECT_EQ(q.try_push_until(1, deadline), QueuePush::Ok);
+  EXPECT_EQ(q.try_push_until(2, deadline), QueuePush::Ok);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, TryPushUntilTimesOutOnSaturatedQueue) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.try_push_until(2, start + 30ms), QueuePush::Timeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 30ms);
+  EXPECT_EQ(q.depth(), 1u);  // the timed-out item was not enqueued
+  EXPECT_EQ(q.pop(), 1);
+}
+
+TEST(BoundedQueue, TryPushUntilSucceedsWhenSpaceOpensWithinDeadline) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(q.pop(), 1);
+  });
+  EXPECT_EQ(q.try_push_until(2, std::chrono::steady_clock::now() + 5s),
+            QueuePush::Ok);
+  consumer.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, TryPushUntilReportsClosedNotTimeout) {
+  BoundedQueue<int> q(4);
+  q.close();
+  EXPECT_EQ(q.try_push_until(1, std::chrono::steady_clock::now() + 5s),
+            QueuePush::Closed);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, CloseDuringTimedWaitWakesWithClosed) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<int> outcome{-1};
+  std::thread producer([&] {
+    // Far deadline: only close() can end this wait promptly.
+    outcome = static_cast<int>(
+        q.try_push_until(2, std::chrono::steady_clock::now() + 60s));
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(outcome.load(), -1);  // still parked at capacity
+  q.close();
+  producer.join();
+  EXPECT_EQ(outcome.load(), static_cast<int>(QueuePush::Closed));
+  EXPECT_EQ(q.pop(), 1);  // queued items still drain after close
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
 TEST(BoundedQueue, MpmcDeliversEveryItemExactlyOnce) {
   constexpr int kProducers = 3;
   constexpr int kPerProducer = 200;

@@ -10,9 +10,12 @@
 // its floor value. All metrics are higher-is-better by convention; a
 // report value below floor * (1 - tolerance) is a regression, and a
 // baseline metric missing from the report fails too (a silently dropped
-// metric must not pass the gate). Report metrics without a baseline
-// entry are informational only, so new metrics can land before their
-// floors do.
+// metric must not pass the gate) - UNLESS the report carries
+// "quick":true, in which case the missing metric only warns: quick runs
+// legitimately skip full-mode-only sections (e.g. E19's hostile phase),
+// and the floor still gates nightly full runs. Report metrics without a
+// baseline entry are informational only, so new metrics can land before
+// their floors do.
 //
 // Tolerance: --tolerance <fraction> (default 0.30), overridable by the
 // SHUFFLEBOUND_BENCH_TOLERANCE environment variable.
@@ -59,6 +62,9 @@ GateResult check_report(const JsonValue& baseline, const JsonValue& report,
                 experiment->as_string().c_str());
     return result;
   }
+  const JsonValue* quick = report.find("quick");
+  const bool quick_run = quick != nullptr && quick->is_bool() &&
+                         quick->as_bool();
   for (const auto& [name, floor] : floors->members()) {
     if (!floor.is_number()) {
       result.failures.push_back(label + ": baseline metric " + name +
@@ -68,6 +74,14 @@ GateResult check_report(const JsonValue& baseline, const JsonValue& report,
     const std::string key = experiment->as_string() + "." + name;
     const JsonValue* value = metrics->find(name);
     if (value == nullptr || !value->is_number()) {
+      if (quick_run) {
+        // Quick runs skip full-mode-only sections; the nightly full run
+        // still gates this floor.
+        std::printf("%s: WARN metric %s absent from quick-mode report "
+                    "(floor %g not gated)\n",
+                    label.c_str(), name.c_str(), floor.as_double());
+        continue;
+      }
       result.failures.push_back(label + ": metric " + name +
                                 " missing from report");
       std::ostringstream delta;
@@ -139,6 +153,23 @@ int self_test() {
              r.deltas[0].find("E99.speedup") != std::string::npos &&
              r.deltas[0].find("missing") != std::string::npos,
          "missing-metric delta must name the baseline key");
+
+  // ... but a quick-mode report only warns on the missing metric (quick
+  // runs skip full-mode-only sections) and still gates what it has.
+  r = check_report(
+      baseline,
+      JsonValue::parse(
+          R"({"experiment":"E99","quick":true,"metrics":{"rate":100}})"),
+      "self-test", 0.30);
+  expect(r.failures.empty() && r.checked == 1,
+         "quick-mode report must not fail on a missing metric");
+  r = check_report(
+      baseline,
+      JsonValue::parse(
+          R"({"experiment":"E99","quick":true,"metrics":{"rate":50}})"),
+      "self-test", 0.30);
+  expect(r.failures.size() == 1,
+         "quick-mode report must still gate present metrics");
 
   // Extra report metrics are informational; unknown experiment skips.
   r = check_report(baseline, report(R"({"rate":100,"speedup":2,"new":1})"),

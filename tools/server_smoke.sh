@@ -1,0 +1,60 @@
+#!/bin/sh
+# Serve/connect end-to-end smoke: start a server on an ephemeral loopback
+# port (discovered via --port-file), drive certify / lint / stats /
+# shutdown through `connect`, and assert one response per request plus a
+# clean drain (exit 0). A second server on the same cache directory must
+# then serve the repeated fingerprints from the disk tier.
+#
+# Usage: server_smoke.sh <shufflebound_cli> [workdir]
+set -e
+CLI="$1"
+DIR="${2:-.}"
+cd "$DIR"
+rm -f smoke_port.txt smoke_port2.txt
+rm -rf smoke_cache
+
+"$CLI" make bitonic 8 > smoke_b8.txt
+{
+  printf '{"id":"a","op":"certify","network_file":"smoke_b8.txt"}\n'
+  printf '{"id":"b","op":"lint","network_file":"smoke_b8.txt"}\n'
+  printf '{"id":"c","op":"stats"}\n'
+  printf '{"id":"d","op":"shutdown"}\n'
+} > smoke_jobs.jsonl
+
+wait_for_port() {
+  i=0
+  while [ $i -lt 100 ]; do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+    i=$((i + 1))
+  done
+  echo "server never wrote $1" >&2
+  return 1
+}
+
+"$CLI" serve --port 0 --port-file smoke_port.txt --cache-dir smoke_cache \
+  --workers 2 &
+SERVER=$!
+wait_for_port smoke_port.txt
+"$CLI" connect --port "$(cat smoke_port.txt)" smoke_jobs.jsonl > smoke_out.jsonl
+SRC=0
+wait $SERVER || SRC=$?
+test "$SRC" -eq 0
+test "$(wc -l < smoke_out.jsonl)" -eq 4
+grep -q '"verdict":"sorting"' smoke_out.jsonl
+grep -q '"op":"stats"' smoke_out.jsonl
+grep -q '"draining":true' smoke_out.jsonl
+
+# Warm restart on the same cache directory: the memory tier is cold, so
+# the repeated certify/lint fingerprints must come off the disk log.
+"$CLI" serve --port 0 --port-file smoke_port2.txt --cache-dir smoke_cache \
+  --workers 2 &
+SERVER=$!
+wait_for_port smoke_port2.txt
+"$CLI" connect --port "$(cat smoke_port2.txt)" smoke_jobs.jsonl > smoke_out2.jsonl
+SRC=0
+wait $SERVER || SRC=$?
+test "$SRC" -eq 0
+test "$(wc -l < smoke_out2.jsonl)" -eq 4
+grep -q '"disk_hits":[1-9]' smoke_out2.jsonl
+echo "server smoke OK"

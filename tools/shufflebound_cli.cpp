@@ -24,6 +24,10 @@
 //   lint  <file...> [--json] [--strict]
 //                                     rule-based diagnostics over network
 //                                     spec files (docs/lint.md)
+//   serve [--port p] [flags]          long-lived TCP analysis server over
+//                                     the batch wire format, with a
+//                                     persistent disk cache (docs/server.md)
+//   connect --port p [file]           stream JSONL jobs to a running server
 //
 // Every subcommand additionally accepts `--trace <file>` and
 // `--metrics <file>` (docs/observability.md): both turn tracing on for
@@ -61,6 +65,8 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "routing/benes.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "service/engine.hpp"
 #include "sim/bitparallel.hpp"
 #include "util/bits.hpp"
@@ -501,6 +507,141 @@ int cmd_lint(int argc, char** argv) {
   return any_failed ? 1 : 0;
 }
 
+// serve: the long-lived analysis server (src/server/server.hpp). Blocks
+// until SIGTERM/SIGINT or a client's `shutdown` op, then drains and
+// returns its clean-drain exit code (0). Exit 2 = usage or bind trouble.
+int cmd_serve(int argc, char** argv) {
+  ServerConfig config;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const auto next_number = [&](std::uint64_t& out) {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      char* end = nullptr;
+      out = std::strtoull(v, &end, 10);
+      if (*end != '\0') {
+        std::fprintf(stderr, "serve: %s needs a nonnegative integer, got '%s'\n",
+                     arg.c_str(), v);
+        return false;
+      }
+      return true;
+    };
+    std::uint64_t value = 0;
+    if (arg == "--port") {
+      if (!next_number(value)) return 2;
+      config.port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.host = v;
+    } else if (arg == "--workers") {
+      if (!next_number(value)) return 2;
+      config.workers = static_cast<std::size_t>(value);
+    } else if (arg == "--queue") {
+      if (!next_number(value)) return 2;
+      config.queue_capacity = static_cast<std::size_t>(value);
+    } else if (arg == "--timeout-ms") {
+      if (!next_number(value)) return 2;
+      config.default_timeout_ms = value;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.cache_dir = v;
+    } else if (arg == "--cache-max-bytes") {
+      if (!next_number(value)) return 2;
+      config.cache_max_bytes = value;
+    } else if (arg == "--max-inflight") {
+      if (!next_number(value)) return 2;
+      config.max_inflight_per_conn = static_cast<std::uint32_t>(value);
+    } else if (arg == "--admission-wait-ms") {
+      if (!next_number(value)) return 2;
+      config.admission_wait_ms = value;
+    } else if (arg == "--drain-deadline-ms") {
+      if (!next_number(value)) return 2;
+      config.drain_deadline_ms = value;
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.port_file = v;
+    } else {
+      std::fprintf(stderr, "serve: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  config.wake_fd = install_sigterm_wake_pipe();
+  try {
+    Server server(config);
+    server.listen();
+    std::fprintf(stderr, "# serving on %s:%u\n", config.host.c_str(),
+                 server.bound_port());
+    return server.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 2;
+  }
+}
+
+// connect: the minimal client. Streams JSONL request lines from a file
+// (or stdin) to a running server and prints the response lines in
+// request order. Exit 0 = one response per request, 1 = connection
+// trouble or a short response stream, 2 = usage.
+int cmd_connect(int argc, char** argv) {
+  ClientConfig config;
+  std::string input_path = "-";
+  bool input_set = false;
+  bool port_set = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "connect: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+      port_set = true;
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      config.host = v;
+    } else if (!input_set && (arg == "-" || arg[0] != '-')) {
+      input_path = arg;
+      input_set = true;
+    } else {
+      std::fprintf(stderr, "connect: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!port_set || config.port == 0) {
+    std::fprintf(stderr, "usage: connect --port <port> [--host h] [file]\n");
+    return 2;
+  }
+
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  if (input_path != "-") {
+    file_in.open(input_path);
+    if (!file_in) {
+      std::fprintf(stderr, "connect: cannot open %s\n", input_path.c_str());
+      return 2;
+    }
+    in = &file_in;
+  }
+  return run_client(config, *in, std::cout);
+}
+
 int cmd_route(wire_t n, std::uint64_t seed) {
   Prng rng(seed);
   const Permutation target = random_permutation(n, rng);
@@ -517,7 +658,7 @@ int cmd_route(wire_t n, std::uint64_t seed) {
 int dispatch(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch|lint"
+                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch|lint|serve|connect"
                  " ... [--trace file] [--metrics file]\n",
                  argv[0]);
     return 2;
@@ -544,6 +685,8 @@ int dispatch(int argc, char** argv) {
                        static_cast<std::uint64_t>(std::atoll(argv[3])));
     if (cmd == "batch") return cmd_batch(argc - 2, argv + 2);
     if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+    if (cmd == "connect") return cmd_connect(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
