@@ -173,18 +173,22 @@ void print_table() {
     const CompiledNetwork compiled = compile(brick_sorter(n));
     const std::uint64_t total = std::uint64_t{1} << n;
     const std::uint64_t reps = benchutil::quick() ? 64 : 512;
+    // Forced Sweep: this metric floors the kernel's per-sweep tracing
+    // cost, so Auto's per-call analyze attempt must stay out of the loop.
+    CertifyOptions sweep_only;
+    sweep_only.engine = CertifyEngine::Sweep;
 
     obs::set_enabled(false);
     const auto t_off = Clock::now();
     for (std::uint64_t r = 0; r < reps; ++r)
-      if (!zero_one_check(compiled).sorts_all)
+      if (!zero_one_check(compiled, sweep_only).sorts_all)
         throw std::logic_error("bench_e17: obs-off sweep failed");
     const double off_s = seconds_since(t_off);
 
     obs::set_enabled(true);
     const auto t_on = Clock::now();
     for (std::uint64_t r = 0; r < reps; ++r)
-      if (!zero_one_check(compiled).sorts_all)
+      if (!zero_one_check(compiled, sweep_only).sorts_all)
         throw std::logic_error("bench_e17: obs-on sweep failed");
     const double on_s = seconds_since(t_on);
     obs::set_enabled(false);

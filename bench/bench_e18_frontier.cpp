@@ -65,6 +65,10 @@ ComparatorNetwork truncated_oem(wire_t n) {
 CertifyOptions engine_opts(CertifyEngine engine) {
   CertifyOptions opts;
   opts.engine = engine;
+  // This bench characterizes the enumerative engines; without this the
+  // static analyze pass would certify every sorter here before Auto
+  // attempts the frontier-vs-sweep ladder under measurement.
+  opts.analyze_first = false;
   return opts;
 }
 
@@ -188,8 +192,9 @@ BENCHMARK(BM_FrontierCertify)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
 void BM_SweepCertify(benchmark::State& state) {
   const wire_t n = static_cast<wire_t>(state.range(0));
   const CompiledNetwork net = compile(bitonic_sorting_network(n));
+  const CertifyOptions opts = engine_opts(CertifyEngine::Sweep);
   for (auto _ : state) {
-    if (!zero_one_check(net).sorts_all)
+    if (!zero_one_check(net, opts).sorts_all)
       throw std::logic_error("bench_e18: bitonic failed certification");
   }
 }

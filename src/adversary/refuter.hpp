@@ -12,6 +12,7 @@
 // On success the result carries a self-verifying certificate.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -19,7 +20,7 @@
 
 namespace shufflebound {
 
-enum class RefutationStatus {
+enum class RefutationStatus : std::uint8_t {
   Refuted,            // certificate produced and self-verified
   TooFewSurvivors,    // adversary ran but ended with < 2 survivors
   NotInScope,         // network not expressible as an iterated RDN

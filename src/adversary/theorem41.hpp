@@ -45,7 +45,7 @@ struct AdversaryResult {
 /// averaging argument requires Largest (it is what makes the n/lg^{4d}n
 /// floor go through); the alternatives exist for the E15 ablation, which
 /// measures how load-bearing that choice is.
-enum class SetSelection {
+enum class SetSelection : std::uint8_t {
   Largest,        // the paper's choice
   FirstNonempty,  // smallest index with any wire
   Median,         // middle of the nonempty sets, by index

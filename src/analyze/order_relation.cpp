@@ -1,0 +1,360 @@
+#include "analyze/order_relation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace shufflebound {
+
+namespace {
+
+// splitmix64 finalizer: the local mixing primitive behind the relation
+// hashes. Deliberately independent of service/fingerprint.cpp - these
+// hashes never key the result cache or the disk tier.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Sets every bit [0, n) of `row`, leaving the tail words clean so
+// popcounts stay exact.
+void fill_row(std::span<std::uint64_t> row, std::size_t n) {
+  for (std::size_t w = 0; w < row.size(); ++w) {
+    const std::size_t base = w * 64;
+    if (base + 64 <= n) {
+      row[w] = ~std::uint64_t{0};
+    } else if (base < n) {
+      row[w] = (std::uint64_t{1} << (n - base)) - 1;
+    } else {
+      row[w] = 0;
+    }
+  }
+}
+
+bool test_bit(std::span<const std::uint64_t> row, std::size_t c) noexcept {
+  return (row[c / 64] >> (c % 64)) & 1u;
+}
+
+void assign_bit(std::span<std::uint64_t> row, std::size_t c,
+                bool value) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (c % 64);
+  if (value)
+    row[c / 64] |= mask;
+  else
+    row[c / 64] &= ~mask;
+}
+
+bool any_intersection(std::span<const std::uint64_t> a,
+                      std::span<const std::uint64_t> b) noexcept {
+  for (std::size_t w = 0; w < a.size(); ++w)
+    if ((a[w] & b[w]) != 0) return true;
+  return false;
+}
+
+}  // namespace
+
+std::size_t BitMatrix::row_count(std::size_t r) const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : row(r)) total += std::size_t(std::popcount(w));
+  return total;
+}
+
+std::size_t BitMatrix::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : bits_) total += std::size_t(std::popcount(w));
+  return total;
+}
+
+void BitMatrix::merge(const BitMatrix& other) {
+  if (other.n_ != n_)
+    throw std::invalid_argument("BitMatrix::merge: size mismatch");
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const auto src = row(r);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t word = src[w];
+      while (word != 0) {
+        const auto c = w * 64 + std::size_t(std::countr_zero(word));
+        out.set(c, r);
+        word &= word - 1;
+      }
+    }
+  }
+  return out;
+}
+
+void BitMatrix::set_diagonal() {
+  for (std::size_t i = 0; i < n_; ++i) set(i, i);
+}
+
+OrderRelation::OrderRelation(wire_t width)
+    : width_(width),
+      up_(width),
+      down_(width),
+      // zero_/one_ use only row 0 of a square matrix; width rows keeps
+      // BitMatrix single-shape and the waste is one matrix per analysis.
+      zero_(width),
+      one_(width) {
+  up_.set_diagonal();
+  down_.set_diagonal();
+}
+
+void OrderRelation::pin_zero(wire_t s) {
+  if (s >= width_) throw std::out_of_range("OrderRelation::pin_zero: slot");
+  zero_.set(0, s);
+  inject_constant_rows();
+}
+
+void OrderRelation::pin_one(wire_t s) {
+  if (s >= width_) throw std::out_of_range("OrderRelation::pin_one: slot");
+  one_.set(0, s);
+  inject_constant_rows();
+}
+
+void OrderRelation::apply_level(std::span<const LevelOp> ops, OpFate* fates) {
+  // Judge each op against the PRE-level relation: these verdicts are
+  // what redundancy elimination acts on, so they must not see the
+  // level's own effects.
+  if (fates != nullptr) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const LevelOp& op = ops[i];
+      if (leq(op.min_slot, op.max_slot))
+        fates[i] = OpFate::Redundant;
+      else if (leq(op.max_slot, op.min_slot))
+        fates[i] = OpFate::AlwaysExchange;
+      else
+        fates[i] = OpFate::Effective;
+    }
+  }
+  if (ops.empty()) return;
+
+  // Left-first expansion, in up-set form. Step 1 rewrites each row g
+  // from {y : g <= old y} to {v : g <= E_v} (E_v = the level's output
+  // expression for slot v); ops touch disjoint slots, so the rewrite is
+  // op-local and in place.
+  BitMatrix a = up_;
+  for (wire_t g = 0; g < width_; ++g) {
+    auto row = a.row(g);
+    for (const LevelOp& op : ops) {
+      const bool bm = test_bit(row, op.min_slot);
+      const bool bM = test_bit(row, op.max_slot);
+      assign_bit(row, op.min_slot, bm && bM);   // g <= min(m, M)
+      assign_bit(row, op.max_slot, bm || bM);   // g <= max(m, M)
+    }
+  }
+  // Step 2 rewrites rows from generators to expressions:
+  // {v : E_u <= E_v} for E_u = min is the union of the operand rows,
+  // for max the intersection; identity slots keep their row.
+  std::vector<std::uint64_t> tmp_min(a.row_words());
+  std::vector<std::uint64_t> tmp_max(a.row_words());
+  for (const LevelOp& op : ops) {
+    const auto rm = a.row(op.min_slot);
+    const auto rM = a.row(op.max_slot);
+    for (std::size_t w = 0; w < rm.size(); ++w) {
+      tmp_min[w] = rm[w] | rM[w];
+      tmp_max[w] = rm[w] & rM[w];
+    }
+    std::copy(tmp_min.begin(), tmp_min.end(), a.row(op.min_slot).begin());
+    std::copy(tmp_max.begin(), tmp_max.end(), a.row(op.max_slot).begin());
+  }
+
+  // Right-first expansion, in down-set form (the exact dual).
+  BitMatrix b = down_;
+  for (wire_t g = 0; g < width_; ++g) {
+    auto row = b.row(g);
+    for (const LevelOp& op : ops) {
+      const bool bm = test_bit(row, op.min_slot);
+      const bool bM = test_bit(row, op.max_slot);
+      assign_bit(row, op.min_slot, bm || bM);   // min(m, M) <= g
+      assign_bit(row, op.max_slot, bm && bM);   // max(m, M) <= g
+    }
+  }
+  for (const LevelOp& op : ops) {
+    const auto rm = b.row(op.min_slot);
+    const auto rM = b.row(op.max_slot);
+    for (std::size_t w = 0; w < rm.size(); ++w) {
+      tmp_min[w] = rm[w] & rM[w];
+      tmp_max[w] = rm[w] | rM[w];
+    }
+    std::copy(tmp_min.begin(), tmp_min.end(), b.row(op.min_slot).begin());
+    std::copy(tmp_max.begin(), tmp_max.end(), b.row(op.max_slot).begin());
+  }
+
+  // Union of both orders; min <= min facts come from the right-first
+  // pass, max <= max facts from the left-first pass. With both, each
+  // level's result is exactly the one-level semantic consequence of the
+  // previous relation, which also keeps it transitively closed.
+  up_ = a;
+  up_.merge(b.transposed());
+  up_.set_diagonal();
+
+  // Constant transfer: min is 0 if either operand is, 1 only if both
+  // are; max dually.
+  {
+    auto zr = zero_.row(0);
+    auto or_ = one_.row(0);
+    for (const LevelOp& op : ops) {
+      const bool zm = test_bit(zr, op.min_slot);
+      const bool zM = test_bit(zr, op.max_slot);
+      const bool om = test_bit(or_, op.min_slot);
+      const bool oM = test_bit(or_, op.max_slot);
+      assign_bit(zr, op.min_slot, zm || zM);
+      assign_bit(zr, op.max_slot, zm && zM);
+      assign_bit(or_, op.min_slot, om && oM);
+      assign_bit(or_, op.max_slot, om || oM);
+    }
+  }
+
+  inject_constant_rows();
+}
+
+void OrderRelation::add_fact(wire_t x, wire_t y) {
+  if (x >= width_ || y >= width_)
+    throw std::out_of_range("OrderRelation::add_fact: slot");
+  up_.set(x, y);
+}
+
+void OrderRelation::close_transitively() {
+  for (wire_t k = 0; k < width_; ++k) {
+    const auto via = up_.row(k);
+    // Copy row k: a row may extend itself when it reaches k.
+    std::vector<std::uint64_t> via_copy(via.begin(), via.end());
+    for (wire_t i = 0; i < width_; ++i) {
+      if (!up_.test(i, k)) continue;
+      auto row = up_.row(i);
+      for (std::size_t w = 0; w < row.size(); ++w) row[w] |= via_copy[w];
+    }
+  }
+  up_.set_diagonal();
+  inject_constant_rows();
+}
+
+void OrderRelation::inject_constant_rows() {
+  // The callers mutate up_ first; restore the transpose before using
+  // down_ for enrichment.
+  down_ = up_.transposed();
+  const auto zr = zero_.row(0);
+  const auto onr = one_.row(0);
+  bool any_zero = false;
+  bool any_one = false;
+  for (std::uint64_t w : zr) any_zero |= (w != 0);
+  for (std::uint64_t w : onr) any_one |= (w != 0);
+  if (!any_zero && !any_one) return;
+  // Enrich first: anything proven <= a 0-slot is itself 0, anything
+  // proven >= a 1-slot is itself 1 (the relation is transitively
+  // closed, so one pass reaches the fixpoint).
+  for (wire_t s = 0; s < width_; ++s) {
+    if (!known_zero(s) && any_intersection(up_.row(s), zr)) zero_.set(0, s);
+    if (!known_one(s) && any_intersection(down_.row(s), onr)) one_.set(0, s);
+  }
+  // A 0-slot is below everything; a 1-slot is above everything.
+  for (wire_t s = 0; s < width_; ++s) {
+    if (known_zero(s)) fill_row(up_.row(s), width_);
+    auto row = up_.row(s);
+    const auto ones = one_.row(0);
+    for (std::size_t w = 0; w < row.size(); ++w) row[w] |= ones[w];
+  }
+  up_.set_diagonal();
+  down_ = up_.transposed();
+}
+
+std::size_t OrderRelation::pair_count() const noexcept {
+  const std::size_t total = up_.count();
+  return total >= width_ ? total - width_ : 0;
+}
+
+bool OrderRelation::proves_chain(std::span<const wire_t> order) const noexcept {
+  for (std::size_t p = 0; p + 1 < order.size(); ++p)
+    if (!leq(order[p], order[p + 1])) return false;
+  return true;
+}
+
+std::optional<std::vector<wire_t>> OrderRelation::total_order_ranks() const {
+  std::vector<wire_t> ranks(width_, 0);
+  std::vector<bool> seen(width_, false);
+  for (wire_t x = 0; x < width_; ++x) {
+    std::size_t below = 0;
+    for (wire_t y = 0; y < width_; ++y) {
+      if (y == x) continue;
+      const bool xy = leq(x, y);
+      const bool yx = leq(y, x);
+      // Incomparable pair: not a total order. Forced-equal pair: not a
+      // STRICT total order; ranks would collide, so certification up to
+      // relabeling does not follow and we stay inconclusive.
+      if (!xy && !yx) return std::nullopt;
+      if (xy && yx) return std::nullopt;
+      if (yx) ++below;
+    }
+    ranks[x] = static_cast<wire_t>(below);
+    if (ranks[x] >= width_ || seen[ranks[x]]) return std::nullopt;
+    seen[ranks[x]] = true;
+  }
+  return ranks;
+}
+
+bool OrderRelation::dominates(const OrderRelation& other) const {
+  if (other.width_ != width_) return false;
+  for (wire_t x = 0; x < width_; ++x) {
+    const auto mine = up_.row(x);
+    const auto theirs = other.up_.row(x);
+    for (std::size_t w = 0; w < mine.size(); ++w)
+      if ((theirs[w] & ~mine[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::pair<std::uint64_t, std::uint64_t> OrderRelation::fingerprint() const {
+  std::uint64_t h1 = mix64(0x414E414C595A4531ull ^ width_);
+  std::uint64_t h2 = mix64(0x414E414C595A4532ull ^ width_);
+  auto absorb = [&](std::uint64_t word) {
+    h1 = mix64(h1 ^ word);
+    h2 = mix64(h2 + (word ^ 0xA5A5A5A5A5A5A5A5ull));
+  };
+  for (wire_t x = 0; x < width_; ++x)
+    for (std::uint64_t w : up_.row(x)) absorb(w);
+  if (width_ != 0) {
+    for (std::uint64_t w : zero_.row(0)) absorb(w);
+    for (std::uint64_t w : one_.row(0)) absorb(w);
+  }
+  return {h1, h2};
+}
+
+std::pair<std::uint64_t, std::uint64_t> OrderRelation::invariant_fingerprint()
+    const {
+  // Per-slot signature from relabel-invariant degrees, combined with
+  // commutative operations so the slot order cannot leak in.
+  std::vector<std::uint64_t> degree(width_);
+  for (wire_t x = 0; x < width_; ++x)
+    degree[x] = (std::uint64_t(up_.row_count(x)) << 32) |
+                std::uint64_t(down_.row_count(x));
+  std::uint64_t sum = 0;
+  std::uint64_t xr = 0;
+  for (wire_t x = 0; x < width_; ++x) {
+    std::vector<std::uint64_t> up_neighbors;
+    std::vector<std::uint64_t> down_neighbors;
+    for (wire_t y = 0; y < width_; ++y) {
+      if (y == x) continue;
+      if (leq(x, y)) up_neighbors.push_back(degree[y]);
+      if (leq(y, x)) down_neighbors.push_back(degree[y]);
+    }
+    std::sort(up_neighbors.begin(), up_neighbors.end());
+    std::sort(down_neighbors.begin(), down_neighbors.end());
+    std::uint64_t sig = mix64(degree[x]);
+    for (std::uint64_t d : up_neighbors) sig = mix64(sig ^ d);
+    sig = mix64(sig ^ 0xC3C3C3C3C3C3C3C3ull);
+    for (std::uint64_t d : down_neighbors) sig = mix64(sig ^ d);
+    sig = mix64(sig ^ (std::uint64_t(known_zero(x)) << 1) ^
+                std::uint64_t(known_one(x)));
+    sum += sig;
+    xr ^= mix64(sig);
+  }
+  return {mix64(sum ^ width_), mix64(xr + width_)};
+}
+
+}  // namespace shufflebound

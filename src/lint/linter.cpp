@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "analyze/analyzer.hpp"
 #include "core/comparator_network.hpp"
 #include "networks/rdn.hpp"
 #include "perm/permutation.hpp"
@@ -207,25 +208,106 @@ void check_unused_wires(LintReport& report, long long width,
        "the width or wire it up");
 }
 
+/// The `ordinal`-th comparator of a level in the analyzer's coordinates:
+/// exchange gates are wiring, not ops, and are skipped (matching
+/// OpFinding::op_in_level).
+const SourceGate* find_comparator(const SourceLevel& level,
+                                  std::uint32_t ordinal) {
+  std::uint32_t seen = 0;
+  for (const SourceGate& gate : level.gates)
+    if (gate.op != 'x' && seen++ == ordinal) return &gate;
+  return nullptr;
+}
+
+void check_expect_redundant(LintReport& report, const NetworkSource& src,
+                            std::optional<std::size_t> proven) {
+  if (!src.expect_redundant) return;
+  // No comparison without a semantic verdict: an unbuildable circuit has
+  // dedicated error diagnostics already.
+  if (!proven) return;
+  if (*proven == static_cast<std::size_t>(*src.expect_redundant)) return;
+  emit(report, LintSeverity::Error, "redundant-mismatch",
+       src.expect_redundant_line, 0,
+       "directive expects " + std::to_string(*src.expect_redundant) +
+           " redundant comparator(s) but the semantic analysis proves " +
+           std::to_string(*proven),
+       "update the '# lint: expect-redundant' directive or the network");
+}
+
 void check_circuit(LintReport& report, const NetworkSource& src) {
+  // A well-formed network with zero gates is the identity: one clean
+  // observation instead of a cascade of vacuous per-level and unused-wire
+  // findings.
+  bool has_gates = false;
+  for (const SourceLevel& level : src.levels)
+    has_gates = has_gates || !level.gates.empty();
+  if (!has_gates) {
+    emit(report, LintSeverity::Info, "empty-network", 0, 0,
+         "circuit declares " + std::to_string(src.width) +
+             " wire(s) but contains no gates; it is the identity network");
+    check_expect_redundant(report, src, 0);
+    return;
+  }
+
   LevelScanState state(src.width);
   for (const SourceLevel& level : src.levels)
     check_level(report, src.width, level, 0, state);
   if (!src.levels.empty()) check_unused_wires(report, src.width, state);
 
+  const std::optional<ComparatorNetwork> net =
+      build_circuit(src.width, src.levels);
+
   // RDN recognition: only meaningful for the shape the lower bound talks
   // about (2^l wires, exactly l levels), and only when the circuit is
   // otherwise clean enough to rebuild.
-  if (src.width >= 2 && is_pow2(static_cast<std::uint64_t>(src.width)) &&
+  if (net && src.width >= 2 &&
+      is_pow2(static_cast<std::uint64_t>(src.width)) &&
       src.levels.size() ==
           log2_exact(static_cast<std::uint64_t>(src.width))) {
-    if (const auto net = build_circuit(src.width, src.levels)) {
-      if (!recognize_rdn(*net))
-        emit(report, LintSeverity::Info, "rdn-unrecognized", 0, 0,
-             "circuit has 2^l wires and l levels but is not recognizable "
-             "as a reverse delta network by recursive bipartition");
+    if (!recognize_rdn(*net))
+      emit(report, LintSeverity::Info, "rdn-unrecognized", 0, 0,
+           "circuit has 2^l wires and l levels but is not recognizable "
+           "as a reverse delta network by recursive bipartition");
+  }
+
+  // Semantic rules: abstract interpretation over the ≤-relation domain
+  // (analyze/analyzer.hpp) proves comparators trivial on EVERY input -
+  // strictly stronger than the syntactic pair-repeat rule above, which
+  // only sees literally repeated pairs.
+  std::optional<std::size_t> proven_redundant;
+  if (net) {
+    const AnalyzeReport sem = analyze(*net);
+    proven_redundant = sem.redundant_count();
+    for (const OpFinding& finding : sem.trivial_ops) {
+      const SourceLevel& level = src.levels[finding.level];
+      const SourceGate* gate = find_comparator(level, finding.op_in_level);
+      const std::string text = gate ? "'" + gate->text + "'"
+                                    : "#" + std::to_string(
+                                          finding.op_in_level + 1);
+      if (finding.fate == OpFate::Redundant) {
+        emit(report, LintSeverity::Warning, "analyze-redundant-comparator",
+             level.line, 0,
+             "gate " + text + " never exchanges: its inputs are provably "
+             "already ordered on every input",
+             "drop the comparator; the network's outputs are unchanged");
+      } else {
+        emit(report, LintSeverity::Warning, "analyze-always-exchange",
+             level.line, 0,
+             "gate " + text + " exchanges on every input: its inputs "
+             "arrive in provably reversed order",
+             "rewrite the comparator as an exchange gate "
+             "('<a>x<b>') - crossed wiring costs no comparison");
+      }
+    }
+    for (const std::uint32_t dead : sem.dead_levels) {
+      emit(report, LintSeverity::Warning, "analyze-dead-level",
+           src.levels[dead].line, 0,
+           "level provably does nothing: every comparator in it is "
+           "redundant",
+           "delete the level (or its gates); depth drops for free");
     }
   }
+  check_expect_redundant(report, src, proven_redundant);
 }
 
 void check_register(LintReport& report, const NetworkSource& src) {
@@ -411,6 +493,14 @@ LintReport lint_network_source(NetworkSource source) {
     case SourceModel::Unknown:
       break;
   }
+
+  if (source.expect_redundant && source.model != SourceModel::Circuit)
+    emit(report, LintSeverity::Warning, "redundant-mismatch",
+         source.expect_redundant_line, 0,
+         "'# lint: expect-redundant' applies only to the circuit model; "
+         "this network declares '" +
+             std::string(source_model_name(source.model)) + "'",
+         "drop the directive or flatten the network to a circuit");
 
   if (source.expect_depth) {
     const std::size_t actual = total_depth(source);

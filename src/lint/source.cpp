@@ -68,10 +68,22 @@ void parse_directive(NetworkSource& src, std::size_t line_no,
                  "got '" + token.substr(eq + 1) + "'",
                  "write '# lint: expect-depth=<levels>'");
       }
+    } else if (key == "expect-redundant" && eq != std::string::npos) {
+      long long count = 0;
+      if (parse_int(token.substr(eq + 1), count) && count >= 0) {
+        src.expect_redundant = count;
+        src.expect_redundant_line = line_no;
+      } else {
+        add_diag(src, LintSeverity::Warning, "unknown-directive", line_no,
+                 "lint directive 'expect-redundant' needs a nonnegative "
+                 "integer, got '" + token.substr(eq + 1) + "'",
+                 "write '# lint: expect-redundant=<comparators>'");
+      }
     } else {
       add_diag(src, LintSeverity::Warning, "unknown-directive", line_no,
                "unknown lint directive '" + token + "'",
-               "supported directives: expect-depth=<levels>");
+               "supported directives: expect-depth=<levels>, "
+               "expect-redundant=<comparators>");
     }
   }
 }

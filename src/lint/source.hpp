@@ -78,6 +78,11 @@ struct NetworkSource {
   std::size_t last_line = 0;  // last logical (non-empty) line seen
   std::optional<long long> expect_depth;  // '# lint: expect-depth=<d>'
   std::size_t expect_depth_line = 0;
+  /// '# lint: expect-redundant=<k>' - the number of comparators the
+  /// semantic analysis is expected to prove redundant (circuit model
+  /// only; checked by the 'redundant-mismatch' rule).
+  std::optional<long long> expect_redundant;
+  std::size_t expect_redundant_line = 0;
 
   std::vector<SourceLevel> levels;  // circuit model
   std::vector<SourceStep> steps;    // register model

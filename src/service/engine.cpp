@@ -6,6 +6,7 @@
 #include "adversary/certificate.hpp"
 #include "adversary/refuter.hpp"
 #include "analysis/sortedness.hpp"
+#include "analyze/analyzer.hpp"
 #include "lint/linter.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -118,6 +119,45 @@ JsonValue certify_payload(const Net& net, Clock::time_point deadline) {
     }
   }
   payload.set("vectors_checked", report.vectors_checked);
+  return payload;
+}
+
+// ------------------------------------------------------------- analyze --
+
+std::string hex_u128(std::pair<std::uint64_t, std::uint64_t> value) {
+  char buf[36];
+  std::snprintf(buf, sizeof buf, "0x%016llx%016llx",
+                static_cast<unsigned long long>(value.first),
+                static_cast<unsigned long long>(value.second));
+  return buf;
+}
+
+/// Static order-relation analysis (analyze/analyzer.hpp) on the
+/// flattened circuit form. Pure structure - no input evaluated, no
+/// seed - so the payload is a deterministic function of the network
+/// text and caches under the params hash like every other kind.
+JsonValue analyze_payload(const ParsedNetwork& net) {
+  const AnalyzeReport report = analyze(net.circuit);
+  JsonValue payload = JsonValue::object();
+  payload.set("verdict", analyze_verdict_name(report.verdict));
+  payload.set("width", report.width);
+  payload.set("levels", static_cast<std::uint64_t>(report.levels));
+  payload.set("comparators", static_cast<std::uint64_t>(report.comparators));
+  if (report.verdict == AnalyzeVerdict::CertifiedUpToRelabel)
+    payload.set("relabel_ranks", wires_to_json(report.relabel_ranks));
+  payload.set("redundant",
+              static_cast<std::uint64_t>(report.redundant_count()));
+  payload.set("always_exchange",
+              static_cast<std::uint64_t>(report.always_exchange_count()));
+  payload.set("dead_levels",
+              static_cast<std::uint64_t>(report.dead_levels.size()));
+  payload.set("untouched_slots",
+              static_cast<std::uint64_t>(report.untouched_slots.size()));
+  payload.set("relation_pairs",
+              static_cast<std::uint64_t>(report.relation_pairs));
+  payload.set("relation_fingerprint", hex_u128(report.relation_fingerprint));
+  payload.set("subsumption_fingerprint",
+              hex_u128(report.subsumption_fingerprint));
   return payload;
 }
 
@@ -269,6 +309,9 @@ JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
         } else {
           result.payload = count_sorted_payload(net.circuit, spec, deadline);
         }
+        break;
+      case JobKind::Analyze:
+        result.payload = analyze_payload(net);
         break;
       case JobKind::Lint:
         // Lint never reaches the parsed path: it runs on the raw text

@@ -17,6 +17,7 @@ const char* job_kind_name(JobKind kind) noexcept {
     case JobKind::Refute: return "refute";
     case JobKind::CountSorted: return "count-sorted";
     case JobKind::Lint: return "lint";
+    case JobKind::Analyze: return "analyze";
     case JobKind::Invalid: return "invalid";
   }
   return "invalid";
@@ -59,6 +60,7 @@ std::optional<JobKind> kind_from_name(const std::string& name) {
   if (name == "refute") return JobKind::Refute;
   if (name == "count-sorted") return JobKind::CountSorted;
   if (name == "lint") return JobKind::Lint;
+  if (name == "analyze") return JobKind::Analyze;
   return std::nullopt;
 }
 

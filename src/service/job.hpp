@@ -8,6 +8,7 @@
 //   {"op":"refute","network_file":"shallow.txt","k":0}
 //   {"op":"info","network":"register 8\n...","timeout_ms":500}
 //   {"op":"lint","network_file":"candidate.txt","strict":true}
+//   {"op":"analyze","network_file":"net.txt"}
 //
 // "network" carries the text format of core/io.hpp (or the iterated-RDN
 // format of networks/rdn_io.hpp) inline; "network_file" reads it from
@@ -39,14 +40,15 @@ enum class JobKind : std::uint8_t {
   Refute,
   CountSorted,
   Lint,
+  Analyze,
   Invalid,
 };
 
 /// Number of JobKind values (telemetry array bound).
-inline constexpr std::size_t kJobKindCount = 6;
+inline constexpr std::size_t kJobKindCount = 7;
 
 /// Wire name of a job kind ("info", "certify", "refute", "count-sorted",
-/// "lint").
+/// "lint", "analyze").
 const char* job_kind_name(JobKind kind) noexcept;
 
 struct JobSpec {

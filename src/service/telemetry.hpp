@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "service/job.hpp"
 #include "service/json.hpp"
 
 namespace shufflebound {
@@ -73,7 +74,7 @@ class Telemetry {
 
  private:
   // Indexed by JobKind (Info..Invalid).
-  std::array<JobKindTelemetry, 6> kinds_{};
+  std::array<JobKindTelemetry, kJobKindCount> kinds_{};
   std::atomic<std::uint64_t> queue_high_water_{0};
   std::atomic<std::uint64_t> witness_revalidations_{0};
   std::atomic<std::uint64_t> witness_revalidation_failures_{0};

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analyze/analyzer.hpp"
 #include "obs/obs.hpp"
 #include "sim/simd.hpp"
 
@@ -24,8 +25,9 @@ std::string cap_error(const char* function, const char* engine, wire_t cap,
   throw std::invalid_argument(cap_error(
       "zero_one_check", "sweep", kSweepWidthCap, n,
       "; the frontier engine certifies frontier-friendly networks up to "
-      "n <= 48 (CertifyEngine::Frontier or Auto, --certify-engine "
-      "frontier|auto)"));
+      "n <= 48 and the analyze engine certifies statically provable "
+      "networks at any width (CertifyEngine::Frontier|Analyze or Auto, "
+      "--certify-engine frontier|analyze|auto)"));
 }
 
 /// Lowers `candidate` into the atomic minimum. CAS loop (fetch_min is
@@ -158,7 +160,31 @@ ZeroOneReport from_frontier(const FrontierReport& frontier, wire_t n) {
       "zero_one_check: n=" + std::to_string(n) +
       " exceeds the sweep engine cap (n <= " +
       std::to_string(kSweepWidthCap) + ") and the " + detail +
-      "; the network is not frontier-friendly at this width");
+      "; the network is not frontier-friendly at this width, and the "
+      "analyze engine found no static proof");
+}
+
+/// The static-certification attempt: returns a report when the
+/// order-relation analysis (analyze/analyzer.hpp) proves the output
+/// chain, nullopt otherwise. The analysis is sound but incomplete - it
+/// can only certify, never refute - so nullopt says nothing about
+/// non-sorting and the caller falls through to an enumerative engine.
+/// No test vector is ever evaluated on this path (the obs counters
+/// below, and the untouched kernel.vectors_evaluated, are the
+/// observable proof of that).
+std::optional<ZeroOneReport> analyze_zero_one(const CompiledNetwork& net) {
+  SB_OBS_SPAN("kernel", "analyze_certify");
+  const AnalyzeReport report = analyze(level_program_from_compiled(net));
+  if (report.verdict != AnalyzeVerdict::Certified) {
+    SB_OBS_COUNT("kernel.analyze_inconclusive", 1);
+    return std::nullopt;
+  }
+  SB_OBS_COUNT("kernel.analyze_certified", 1);
+  const wire_t n = net.width();
+  ZeroOneReport out;
+  out.sorts_all = true;
+  out.vectors_checked = n >= 64 ? UINT64_MAX : std::uint64_t{1} << n;
+  return out;
 }
 
 }  // namespace
@@ -167,6 +193,7 @@ const char* certify_engine_name(CertifyEngine engine) noexcept {
   switch (engine) {
     case CertifyEngine::Frontier: return "frontier";
     case CertifyEngine::Sweep: return "sweep";
+    case CertifyEngine::Analyze: return "analyze";
     case CertifyEngine::Auto: break;
   }
   return "auto";
@@ -176,6 +203,7 @@ std::optional<CertifyEngine> parse_certify_engine(std::string_view name) {
   if (name == "auto") return CertifyEngine::Auto;
   if (name == "frontier") return CertifyEngine::Frontier;
   if (name == "sweep") return CertifyEngine::Sweep;
+  if (name == "analyze") return CertifyEngine::Analyze;
   return std::nullopt;
 }
 
@@ -198,9 +226,26 @@ ZeroOneReport zero_one_check(const CompiledNetwork& net,
                                /*sweep_possible=*/n <= kSweepWidthCap);
       return from_frontier(frontier, n);
     }
+    case CertifyEngine::Analyze: {
+      if (const auto report = analyze_zero_one(net)) return *report;
+      throw std::runtime_error(
+          "zero_one_check: the analyze engine is inconclusive at n=" +
+          std::to_string(n) +
+          "; static certification is sound but incomplete and can never "
+          "refute - use the sweep engine (n <= " +
+          std::to_string(kSweepWidthCap) + "), the frontier engine (n <= " +
+          std::to_string(kFrontierWidthCap) + "), or Auto");
+    }
     case CertifyEngine::Auto: break;
   }
 
+  // Auto runs the static analysis before any enumerative engine: it is
+  // O(depth * n^2) bit arithmetic - negligible next to even the
+  // smallest sweep - and when it certifies, zero vectors are evaluated
+  // regardless of width.
+  if (opts.analyze_first) {
+    if (const auto report = analyze_zero_one(net)) return *report;
+  }
   if (n <= kAutoSweepPreferredWidth)
     return sweep_zero_one(net, opts.pool, opts.progress);
   if (n <= kSweepWidthCap) {
@@ -226,14 +271,24 @@ ZeroOneReport zero_one_check(const CompiledNetwork& net,
   }
   throw std::invalid_argument(
       "zero_one_check: n=" + std::to_string(n) +
-      " exceeds every certification engine cap (sweep n <= " +
+      " exceeds every enumerative certification engine cap (sweep n <= " +
       std::to_string(kSweepWidthCap) + ", frontier n <= " +
-      std::to_string(kFrontierWidthCap) + ")");
+      std::to_string(kFrontierWidthCap) +
+      ") and the analyze engine found no static proof");
 }
 
 ZeroOneReport zero_one_check(const ComparatorNetwork& net,
                              const CertifyOptions& opts) {
-  return zero_one_check(compile(net), opts);
+  // Redundancy elimination before compilation: pointwise output-
+  // equivalent on every input (analyze/analyzer.hpp), so the verdict
+  // and the minimal failing vector are unchanged while the compiled op
+  // table shrinks.
+  EliminationResult reduced = eliminate_redundant(net);
+  if (reduced.removed == 0 && reduced.exchanged == 0)
+    return zero_one_check(compile(net), opts);
+  SB_OBS_COUNT("kernel.redundant_ops_removed", reduced.removed);
+  SB_OBS_COUNT("kernel.always_exchange_rewrites", reduced.exchanged);
+  return zero_one_check(compile(reduced.net), opts);
 }
 
 ZeroOneReport zero_one_check(const RegisterNetwork& net,
@@ -250,7 +305,7 @@ ZeroOneReport zero_one_check(const CompiledNetwork& net, ThreadPool* pool) {
 ZeroOneReport zero_one_check(const ComparatorNetwork& net, ThreadPool* pool) {
   CertifyOptions opts;
   opts.pool = pool;
-  return zero_one_check(compile(net), opts);
+  return zero_one_check(net, opts);
 }
 
 ZeroOneReport zero_one_check(const RegisterNetwork& net, ThreadPool* pool) {

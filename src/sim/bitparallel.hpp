@@ -48,7 +48,10 @@ struct ZeroOneReport {
   /// wire w).
   std::optional<std::uint64_t> failing_vector;
   /// Size of the certified input space (2^n): the sweep enumerates it,
-  /// the frontier engine covers it symbolically.
+  /// the frontier engine covers it symbolically, and a static analyze
+  /// certification covers it by proof without evaluating any vector
+  /// (saturated to UINT64_MAX when n >= 64 - the analyze engine has no
+  /// width cap, so 2^n can overflow the counter).
   std::uint64_t vectors_checked = 0;
 };
 
@@ -57,18 +60,30 @@ struct ZeroOneReport {
 ///  * Sweep: the wide-lane 2^n enumeration, n <= kSweepWidthCap.
 ///  * Frontier: reachable-set propagation (sim/frontier.hpp), n <=
 ///    kFrontierWidthCap; throws if the frontier exceeds the budget.
-///  * Auto: the hybrid - small n stays on the sweep (it is already
+///  * Analyze: static order-relation certification (analyze/
+///    analyzer.hpp) - no width cap and zero simulated vectors, but
+///    sound-not-complete: it can only certify, never refute, and throws
+///    std::runtime_error when inconclusive.
+///  * Auto: the hybrid - a static analyze pass runs first at every
+///    width (when it certifies, the enumerative engines are skipped
+///    entirely); otherwise small n stays on the sweep (it is already
 ///    memory-bandwidth fast there), mid n tries a budget-bounded
 ///    frontier pass and falls back to the sweep when the network is not
 ///    frontier-friendly, and n above the sweep cap runs frontier-only.
-enum class CertifyEngine { Auto, Frontier, Sweep };
+enum class CertifyEngine : std::uint8_t { Auto, Frontier, Sweep, Analyze };
 
-/// "auto" / "frontier" / "sweep" (CLI flag values, error messages).
+/// "auto" / "frontier" / "sweep" / "analyze" (CLI flag values, error
+/// messages).
 const char* certify_engine_name(CertifyEngine engine) noexcept;
 std::optional<CertifyEngine> parse_certify_engine(std::string_view name);
 
 struct CertifyOptions {
   CertifyEngine engine = CertifyEngine::Auto;
+  /// Auto only: run the static analyze pass before any enumerative
+  /// engine (CertifyEngine::Analyze ignores this - it IS the analyze
+  /// pass). Turned off by callers that specifically exercise or measure
+  /// the enumeration paths (kernel benches, fallback tests).
+  bool analyze_first = true;
   /// State budget handed to frontier passes. Auto additionally clamps
   /// its fallback-guarded attempts (n <= kSweepWidthCap) to 2^(n-8), so
   /// an unfriendly network aborts after a tiny fraction of sweep work.
@@ -85,8 +100,8 @@ struct CertifyOptions {
 /// the register model the output is checked in register order (sorted
 /// register contents), matching the convention that shuffle-compiled
 /// sorters finish in register order. These overloads dispatch through
-/// CertifyEngine::Auto, so frontier-friendly networks up to
-/// kFrontierWidthCap certify too.
+/// CertifyEngine::Auto, so statically certifiable networks (any width)
+/// and frontier-friendly networks up to kFrontierWidthCap certify too.
 ZeroOneReport zero_one_check(const ComparatorNetwork& net,
                              ThreadPool* pool = nullptr);
 ZeroOneReport zero_one_check(const RegisterNetwork& net,
@@ -102,8 +117,12 @@ ZeroOneReport zero_one_check(const CompiledNetwork& net,
 /// the same MINIMAL failing vector (tests/test_frontier.cpp); they
 /// differ only in reachable width and speed. Throws std::invalid_argument
 /// past an engine's width cap (the message names the engine, its cap
-/// and the requested n) and std::runtime_error when a forced frontier
-/// run exhausts its budget.
+/// and the requested n), std::runtime_error when a forced frontier run
+/// exhausts its budget or a forced analyze run is inconclusive. The
+/// ComparatorNetwork overload additionally runs redundancy elimination
+/// (analyze/analyzer.hpp) before compiling: pointwise output-equivalent,
+/// so the verdict and the minimal failing vector are unchanged while the
+/// kernel op table shrinks.
 ZeroOneReport zero_one_check(const CompiledNetwork& net,
                              const CertifyOptions& opts);
 ZeroOneReport zero_one_check(const ComparatorNetwork& net,

@@ -238,6 +238,9 @@ TEST(FrontierBudget, AutoFallsBackToSweepAndStaysExact) {
   obs::set_enabled(true);
   CertifyOptions opts;
   opts.frontier_budget = 4;  // force the attempt to die immediately
+  // The analyze engine certifies brick sorters statically, which would
+  // short-circuit the very fallback path under test.
+  opts.analyze_first = false;
   const ZeroOneReport report = zero_one_check(brick_sorter(22), opts);
   EXPECT_TRUE(report.sorts_all);
   EXPECT_EQ(report.vectors_checked, std::uint64_t{1} << 22);

@@ -439,6 +439,76 @@ TEST(Lint, ToStringFormatsLocationSeverityAndRule) {
   EXPECT_EQ(d.to_string(""), "<input>: error: [wire-out-of-range] boom\n");
 }
 
+// ------------------------------------------------- semantic (analyze)
+
+TEST(Lint, EmptyNetworkEmitsSingleCleanInfo) {
+  for (const char* text : {"circuit 4\nend\n", "circuit 4\nlevel\nlevel\nend\n"}) {
+    const LintReport report = lint_network_text(text);
+    EXPECT_TRUE(report.clean(true)) << text;
+    ASSERT_EQ(report.diagnostics.size(), 1u) << text;
+    EXPECT_EQ(report.diagnostics[0].rule, "empty-network");
+    EXPECT_EQ(report.diagnostics[0].severity, LintSeverity::Info);
+    // The per-level and whole-circuit hygiene rules stay quiet.
+    EXPECT_FALSE(has_rule(report, "empty-level"));
+    EXPECT_FALSE(has_rule(report, "unused-wire"));
+  }
+}
+
+TEST(Lint, AnalyzeRedundantComparatorFiresOnProvenIdentity) {
+  const LintReport report = lint_network_text(
+      "circuit 4\nlevel 0+1 2+3\nlevel 0+1\nend\n");
+  EXPECT_TRUE(has_rule(report, "analyze-redundant-comparator"));
+  EXPECT_TRUE(has_rule(report, "analyze-dead-level"));
+  EXPECT_EQ(find_rule(report, "analyze-dead-level").line, 3u);
+  EXPECT_FALSE(has_rule(lint_network_text(kCleanCircuit),
+                        "analyze-redundant-comparator"));
+}
+
+TEST(Lint, AnalyzeAlwaysExchangeFiresOnProvenReversedInputs) {
+  const LintReport report =
+      lint_network_text("circuit 2\nlevel 0-1\nlevel 0+1\nend\n");
+  EXPECT_TRUE(has_rule(report, "analyze-always-exchange"));
+  // The semantic rule reasons transitively (0<=1 and 1<=2 prove 0<=2);
+  // the syntactic pair-repeat rule needs literal repetition and stays
+  // quiet.
+  const LintReport spaced = lint_network_text(
+      "circuit 3\nlevel 0+1\nlevel 1+2\nlevel 0+2\nend\n");
+  EXPECT_TRUE(has_rule(spaced, "analyze-redundant-comparator"));
+  EXPECT_FALSE(has_rule(spaced, "redundant-comparator"));
+}
+
+TEST(Lint, ExpectRedundantDirectiveChecksAnalyzerCount) {
+  const char* net =
+      "# lint: expect-redundant=1\n"
+      "circuit 4\nlevel 0+1 2+3\nlevel 0+1\nend\n";
+  EXPECT_FALSE(has_rule(lint_network_text(net), "redundant-mismatch"));
+
+  const char* wrong =
+      "# lint: expect-redundant=3\n"
+      "circuit 4\nlevel 0+1 2+3\nlevel 0+1\nend\n";
+  const LintReport report = lint_network_text(wrong);
+  const Diagnostic& d = find_rule(report, "redundant-mismatch");
+  EXPECT_EQ(d.severity, LintSeverity::Error);
+  EXPECT_EQ(d.line, 1u);
+
+  // Zero expectation on an empty network holds vacuously.
+  EXPECT_FALSE(has_rule(
+      lint_network_text("# lint: expect-redundant=0\ncircuit 4\nend\n"),
+      "redundant-mismatch"));
+
+  // Outside the circuit model the directive cannot be checked.
+  const LintReport reg = lint_network_text(
+      "# lint: expect-redundant=0\nregister 4\nstep shuffle ; ops ++\nend\n");
+  EXPECT_EQ(find_rule(reg, "redundant-mismatch").severity,
+            LintSeverity::Warning);
+}
+
+TEST(Lint, ExpectRedundantDirectiveRejectsBadPayload) {
+  const LintReport report = lint_network_text(
+      "# lint: expect-redundant=banana\ncircuit 4\nlevel 0+1\nend\n");
+  EXPECT_TRUE(has_rule(report, "unknown-directive"));
+}
+
 // The linter accepts everything the strict parsers accept: anything that
 // parses must produce no *error* diagnostics (warnings are taste).
 TEST(Lint, ParseableTextNeverHasLintErrors) {

@@ -222,7 +222,12 @@ TEST_F(ObsTest, MinimalFailingVectorIdenticalWithTracingOnAndOff) {
 // lane blocks strictly below 2^n.
 TEST_F(ObsTest, VectorsEvaluatedCountsOnlyEvaluatedBlocks) {
   obs::set_enabled(true);
-  const ZeroOneReport sorted = zero_one_check(bitonic_sorting_network(16));
+  // Forced Sweep: under Auto the analyze engine certifies bitonic
+  // statically and the kernel would evaluate nothing at all.
+  CertifyOptions sweep_only;
+  sweep_only.engine = CertifyEngine::Sweep;
+  const ZeroOneReport sorted =
+      zero_one_check(bitonic_sorting_network(16), sweep_only);
   ASSERT_TRUE(sorted.sorts_all);
   EXPECT_EQ(obs::counter("kernel.vectors_evaluated").value(),
             std::uint64_t{1} << 16);

@@ -8,9 +8,13 @@
 //                 random-rdn <seed>
 //   show  <file>                      ASCII diagram of a circuit
 //   info  <file>                      structural statistics
-//   certify <file> [--certify-engine auto|frontier|sweep]
-//                                     0-1 certification: hybrid frontier /
-//                                     wide-lane sweep (docs/simd.md)
+//   certify <file> [--certify-engine auto|frontier|sweep|analyze]
+//                                     0-1 certification: hybrid static
+//                                     analyze / frontier / wide-lane sweep
+//                                     (docs/simd.md, docs/analyze.md)
+//   analyze <file> [--json]           static order-relation analysis:
+//                                     verdict, trivial comparators, dead
+//                                     levels, fingerprints (docs/analyze.md)
 //   refute <file>                     run the paper's adversary; on success
 //                                     print a nonsorting-certificate
 //   verify <network-file> <cert-file> re-check a certificate
@@ -51,6 +55,7 @@
 #include "adversary/certificate.hpp"
 #include "adversary/refuter.hpp"
 #include "analysis/representative.hpp"
+#include "analyze/analyzer.hpp"
 #include "analysis/search.hpp"
 #include "analysis/sortedness.hpp"
 #include "core/transform.hpp"
@@ -169,7 +174,7 @@ int cmd_info(const std::string& path) {
 int cmd_certify(int argc, char** argv) {
   if (argc < 1) {
     std::fprintf(stderr,
-                 "usage: certify <file> [--certify-engine auto|frontier|sweep]\n");
+                 "usage: certify <file> [--certify-engine auto|frontier|sweep|analyze]\n");
     return 2;
   }
   CertifyOptions opts;
@@ -181,7 +186,7 @@ int cmd_certify(int argc, char** argv) {
           parse_certify_engine(argv[++i]);
       if (!engine) {
         std::fprintf(stderr,
-                     "certify: unknown engine '%s' (auto|frontier|sweep)\n",
+                     "certify: unknown engine '%s' (auto|frontier|sweep|analyze)\n",
                      argv[i]);
         return 2;
       }
@@ -195,7 +200,7 @@ int cmd_certify(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: certify <file> [--certify-engine auto|frontier|sweep]\n");
+                 "usage: certify <file> [--certify-engine auto|frontier|sweep|analyze]\n");
     return 2;
   }
   const LoadedNetwork loaded = load_network(path);
@@ -227,6 +232,105 @@ int cmd_certify(int argc, char** argv) {
   std::printf("NOT a sorting network; failing 0/1 vector: 0x%llx\n",
               static_cast<unsigned long long>(*report.failing_vector));
   return 1;
+}
+
+// analyze: static order-relation analysis (docs/analyze.md). The report
+// is the deliverable - "inconclusive" is a real outcome of a sound but
+// incomplete analysis, not a failure - so the exit code is 0 whenever a
+// report was produced and 2 on usage or I/O trouble.
+int cmd_analyze(int argc, char** argv) {
+  bool json = false;
+  std::string path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "analyze: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "analyze: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: analyze <file> [--json]\n");
+    return 2;
+  }
+  const LoadedNetwork loaded = load_network(path);
+  const AnalyzeReport report = analyze(loaded.circuit);
+  const auto hex128 = [](std::pair<std::uint64_t, std::uint64_t> fp) {
+    char buf[36];
+    std::snprintf(buf, sizeof buf, "0x%016llx%016llx",
+                  static_cast<unsigned long long>(fp.first),
+                  static_cast<unsigned long long>(fp.second));
+    return std::string(buf);
+  };
+  if (json) {
+    // Same shape as the batch/server "analyze" job payload, plus the
+    // per-comparator findings the service keeps as counts.
+    JsonValue doc = JsonValue::object();
+    doc.set("verdict", analyze_verdict_name(report.verdict));
+    doc.set("width", report.width);
+    doc.set("levels", static_cast<std::uint64_t>(report.levels));
+    doc.set("comparators", static_cast<std::uint64_t>(report.comparators));
+    if (report.verdict == AnalyzeVerdict::CertifiedUpToRelabel) {
+      JsonValue ranks = JsonValue::array();
+      for (const wire_t r : report.relabel_ranks)
+        ranks.push_back(static_cast<unsigned>(r));
+      doc.set("relabel_ranks", std::move(ranks));
+    }
+    doc.set("redundant", static_cast<std::uint64_t>(report.redundant_count()));
+    doc.set("always_exchange",
+            static_cast<std::uint64_t>(report.always_exchange_count()));
+    doc.set("dead_levels",
+            static_cast<std::uint64_t>(report.dead_levels.size()));
+    doc.set("untouched_slots",
+            static_cast<std::uint64_t>(report.untouched_slots.size()));
+    doc.set("relation_pairs",
+            static_cast<std::uint64_t>(report.relation_pairs));
+    doc.set("relation_fingerprint", hex128(report.relation_fingerprint));
+    doc.set("subsumption_fingerprint",
+            hex128(report.subsumption_fingerprint));
+    JsonValue ops = JsonValue::array();
+    for (const OpFinding& f : report.trivial_ops) {
+      JsonValue op = JsonValue::object();
+      op.set("level", f.level);
+      op.set("op", f.op_in_level);
+      op.set("min_slot", f.min_slot);
+      op.set("max_slot", f.max_slot);
+      op.set("fate", f.fate == OpFate::Redundant ? "redundant"
+                                                 : "always-exchange");
+      ops.push_back(std::move(op));
+    }
+    doc.set("trivial_ops", std::move(ops));
+    const std::string out = doc.dump();
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  std::printf("verdict        %s\n", analyze_verdict_name(report.verdict));
+  std::printf("width          %u\n", report.width);
+  std::printf("levels         %zu\n", report.levels);
+  std::printf("comparators    %zu\n", report.comparators);
+  std::printf("redundant      %zu\n", report.redundant_count());
+  std::printf("always-exch    %zu\n", report.always_exchange_count());
+  std::printf("dead levels    %zu\n", report.dead_levels.size());
+  std::printf("untouched      %zu\n", report.untouched_slots.size());
+  std::printf("relation pairs %zu\n", report.relation_pairs);
+  std::printf("relation fp    %s\n", hex128(report.relation_fingerprint).c_str());
+  std::printf("subsumption fp %s\n",
+              hex128(report.subsumption_fingerprint).c_str());
+  for (const OpFinding& f : report.trivial_ops) {
+    std::printf("  level %u op %u (slots %u,%u): %s\n", f.level,
+                f.op_in_level, f.min_slot, f.max_slot,
+                f.fate == OpFate::Redundant ? "redundant"
+                                            : "always-exchange");
+  }
+  return 0;
 }
 
 int cmd_refute(const std::string& path) {
@@ -658,7 +762,7 @@ int cmd_route(wire_t n, std::uint64_t seed) {
 int dispatch(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s make|show|info|certify|refute|verify|dot|compact|search|prune|route|batch|lint|serve|connect"
+                 "usage: %s make|show|info|certify|analyze|refute|verify|dot|compact|search|prune|route|batch|lint|serve|connect"
                  " ... [--trace file] [--metrics file]\n",
                  argv[0]);
     return 2;
@@ -670,6 +774,7 @@ int dispatch(int argc, char** argv) {
     if (cmd == "show" && argc >= 3) return cmd_show(argv[2]);
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "certify" && argc >= 3) return cmd_certify(argc - 2, argv + 2);
+    if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc - 2, argv + 2);
     if (cmd == "refute" && argc >= 3) return cmd_refute(argv[2]);
     if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
