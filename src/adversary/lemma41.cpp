@@ -4,11 +4,19 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace shufflebound {
 
 namespace {
 
 constexpr std::uint32_t kNoSet = static_cast<std::uint32_t>(-1);
+
+// Below these trip counts the parallel_for dispatch overhead exceeds the
+// loop body; measured on the E21 pipeline (per-gate bodies are a few ns,
+// per-parent bodies do real matching work).
+constexpr std::size_t kGateGrain = 512;
+constexpr std::size_t kParentGrain = 16;
 
 bool is_entry_symbol(PatternSymbol s) {
   return s == sym_S(0) || s == sym_M(0) || s == sym_L(0);
@@ -61,24 +69,40 @@ void Lemma41Driver::demote(wire_t w, std::uint32_t set_index,
   set_index_of_wire_[w] = kNoSet;
 }
 
+void Lemma41Driver::run_indexed(std::size_t count, std::size_t grain,
+                                const std::function<void(std::size_t)>& body) {
+  if (pool_ != nullptr && count >= grain) {
+    pool_->parallel_for(0, count, body);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+  }
+}
+
 std::vector<wire_t> Lemma41Driver::feed_level(const Level& level) {
+  if (progress_) progress_();
   const std::uint32_t m = level_ + 1;
   if (m > tree_.depth())
     throw std::logic_error("Lemma41Driver: more levels than the tree has");
 
-  // Parent lookup for this layer.
+  // Parent lookup for this layer, plus a dense parent -> slot index so the
+  // per-parent stages can target pre-assigned output slots.
   std::vector<int> parent_of(tree_.nodes().size(), -1);
+  std::vector<int> slot_of_parent(tree_.nodes().size(), -1);
   std::vector<bool> is_left_child(tree_.nodes().size(), false);
   const std::vector<int> parents = tree_.nodes_at_level(m);
-  for (const int pid : parents) {
+  for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+    const int pid = parents[slot];
     const RdnTree::Node& parent = tree_.node(pid);
     parent_of[static_cast<std::size_t>(parent.left)] = pid;
     parent_of[static_cast<std::size_t>(parent.right)] = pid;
     is_left_child[static_cast<std::size_t>(parent.left)] = true;
+    slot_of_parent[static_cast<std::size_t>(pid)] = static_cast<int>(slot);
   }
 
   // --- Validation: every gate crosses the two children of one parent. ---
-  for (const Gate& g : level.gates) {
+  // Read-only over shared state; safe to fan out as-is.
+  run_indexed(level.gates.size(), kGateGrain, [&](std::size_t gi) {
+    const Gate& g = level.gates[gi];
     const int a = node_of_wire_.at(g.lo);
     const int b = node_of_wire_.at(g.hi);
     if (a < 0 || b < 0 || a == b ||
@@ -87,16 +111,18 @@ std::vector<wire_t> Lemma41Driver::feed_level(const Level& level) {
             parent_of[static_cast<std::size_t>(b)])
       throw std::invalid_argument(
           "Lemma41Driver: level gate violates the RDN decomposition");
-  }
+  });
 
   // --- Step 1: collision scan on pre-level positions. ---
-  // Per parent node: triples (left set i, right set j, left wire).
+  // Per parent node: triples (left set i, right set j, left wire). Serial:
+  // the scan is O(gates) of pure reads, and the per-parent collision order
+  // must stay the gate-scan order for bit-identical demotions.
   struct Collision {
     std::uint32_t left_set;
     std::uint32_t right_set;
     wire_t left_wire;
   };
-  std::map<int, std::vector<Collision>> collisions_by_parent;
+  std::vector<std::vector<Collision>> collisions_by_slot(parents.size());
   for (const Gate& g : level.gates) {
     if (!is_comparator(g.op)) continue;  // "1" elements never collide
     const wire_t u = wire_at_pos_[g.lo];
@@ -107,35 +133,39 @@ std::vector<wire_t> Lemma41Driver::feed_level(const Level& level) {
     const int nu = node_of_wire_[u];
     const wire_t wl = is_left_child[static_cast<std::size_t>(nu)] ? u : v;
     const wire_t wr = wl == u ? v : u;
-    collisions_by_parent[parent_of[static_cast<std::size_t>(nu)]].push_back(
+    const int slot =
+        slot_of_parent[static_cast<std::size_t>(parent_of[static_cast<std::size_t>(nu)])];
+    collisions_by_slot[static_cast<std::size_t>(slot)].push_back(
         Collision{set_index_of_wire_[wl], set_index_of_wire_[wr], wl});
   }
 
   // --- Steps 2 & 3 per parent: pick i0, demote, rename the right child. ---
+  // Parents own disjoint wire subtrees (and values from a child's wires
+  // still sit on that child's lines before this level acts), so the
+  // per-parent bodies touch disjoint pattern/state/bookkeeping slots and
+  // fan out racelessly. Sacrificed wires land in per-parent lists and are
+  // concatenated in parents order - exactly the serial emission order.
   const std::uint32_t xj = next_xj_++;
   const std::uint64_t offsets = static_cast<std::uint64_t>(k_) * k_;
-  std::vector<wire_t> sacrificed;
-  for (const int pid : parents) {
+  std::vector<std::vector<wire_t>> sacrificed_by_slot(parents.size());
+  run_indexed(parents.size(), kParentGrain, [&](std::size_t slot) {
+    const int pid = parents[slot];
     const RdnTree::Node& parent = tree_.node(pid);
-    auto it = collisions_by_parent.find(pid);
-    const std::vector<Collision> empty;
-    const std::vector<Collision>& cols =
-        it == collisions_by_parent.end() ? empty : it->second;
+    const std::vector<Collision>& cols = collisions_by_slot[slot];
 
     // loss(off) = number of collisions with left_set - right_set == off.
     std::uint32_t i0 = 0;
     {
-      std::map<std::uint64_t, std::size_t> loss;
+      std::vector<std::size_t> loss(static_cast<std::size_t>(offsets), 0);
       for (const Collision& c : cols) {
         if (c.left_set >= c.right_set) {
           const std::uint64_t off = c.left_set - c.right_set;
-          if (off < offsets) ++loss[off];
+          if (off < offsets) ++loss[static_cast<std::size_t>(off)];
         }
       }
       std::size_t best = SIZE_MAX;
       for (std::uint64_t off = 0; off < offsets; ++off) {
-        const auto hit = loss.find(off);
-        const std::size_t value = hit == loss.end() ? 0 : hit->second;
+        const std::size_t value = loss[static_cast<std::size_t>(off)];
         if (value < best) {
           best = value;
           i0 = static_cast<std::uint32_t>(off);
@@ -148,7 +178,7 @@ std::vector<wire_t> Lemma41Driver::feed_level(const Level& level) {
     for (const Collision& c : cols) {
       if (c.left_set >= c.right_set && c.left_set - c.right_set == i0) {
         demote(c.left_wire, c.left_set, xj);
-        sacrificed.push_back(c.left_wire);
+        sacrificed_by_slot[slot].push_back(c.left_wire);
       }
     }
 
@@ -159,20 +189,27 @@ std::vector<wire_t> Lemma41Driver::feed_level(const Level& level) {
     if (i0 > 0) {
       const RdnTree::Node& right = tree_.node(parent.right);
       for (const wire_t w : right.wires) {
-        for (PatternSymbol* slot : {&pattern_.mutable_symbols()[w], &state_[w]}) {
-          if (slot->kind == SymbolKind::M || slot->kind == SymbolKind::X)
-            slot->i += i0;
+        for (PatternSymbol* sym : {&pattern_.mutable_symbols()[w], &state_[w]}) {
+          if (sym->kind == SymbolKind::M || sym->kind == SymbolKind::X)
+            sym->i += i0;
         }
         if (set_index_of_wire_[w] != kNoSet) set_index_of_wire_[w] += i0;
       }
-      for (auto& [index, wires] : node_sets_[static_cast<std::size_t>(parent.right)].sets)
+      for (auto& [index, wires] :
+           node_sets_[static_cast<std::size_t>(parent.right)].sets)
         index += i0;
     }
-  }
+  });
+  std::vector<wire_t> sacrificed;
+  for (const std::vector<wire_t>& part : sacrificed_by_slot)
+    sacrificed.insert(sacrificed.end(), part.begin(), part.end());
   stats_.loss_per_level.push_back(sacrificed.size());
 
   // --- Step 4: apply the level to the symbol state. ---
-  for (const Gate& g : level.gates) {
+  // A level is a matching (add_level rejects shared wires), so distinct
+  // gates touch distinct lines - and therefore distinct tracked wires.
+  run_indexed(level.gates.size(), kGateGrain, [&](std::size_t gi) {
+    const Gate& g = level.gates[gi];
     PatternSymbol& a = state_[g.lo];
     PatternSymbol& b = state_[g.hi];
     bool do_swap = false;
@@ -199,15 +236,19 @@ std::vector<wire_t> Lemma41Driver::feed_level(const Level& level) {
       if (wire_at_pos_[g.lo] != npos) pos_of_wire_[wire_at_pos_[g.lo]] = g.lo;
       if (wire_at_pos_[g.hi] != npos) pos_of_wire_[wire_at_pos_[g.hi]] = g.hi;
     }
-  }
+  });
 
   // --- Step 5: merge child set collections into the parents. ---
-  for (const int pid : parents) {
+  // Each parent merges only its own two children and relabels only its
+  // own wires: disjoint writes again.
+  run_indexed(parents.size(), kParentGrain, [&](std::size_t slot) {
+    const int pid = parents[slot];
     const RdnTree::Node& parent = tree_.node(pid);
     NodeSets merged;
     std::map<std::uint32_t, std::vector<wire_t>> combined;
     for (const int child : {parent.left, parent.right}) {
-      for (auto& [index, wires] : node_sets_[static_cast<std::size_t>(child)].sets) {
+      for (auto& [index, wires] :
+           node_sets_[static_cast<std::size_t>(child)].sets) {
         // Demoted wires were already removed from set bookkeeping lazily:
         // filter them here.
         for (const wire_t w : wires)
@@ -221,7 +262,7 @@ std::vector<wire_t> Lemma41Driver::feed_level(const Level& level) {
     }
     node_sets_[static_cast<std::size_t>(pid)] = std::move(merged);
     for (const wire_t w : parent.wires) node_of_wire_[w] = pid;
-  }
+  });
 
   net_.add_level(level);
   level_ = m;
@@ -256,10 +297,11 @@ Lemma41Result Lemma41Driver::finish() && {
 }
 
 Lemma41Result lemma41(const RdnChunk& chunk, const InputPattern& p,
-                      std::uint32_t k) {
+                      std::uint32_t k, ThreadPool* pool) {
   if (auto err = chunk.tree.validate(chunk.net))
     throw std::invalid_argument("lemma41: chunk is not an RDN: " + *err);
   Lemma41Driver driver(chunk.tree, p, k);
+  driver.set_parallelism(pool);
   for (const Level& level : chunk.net.levels()) driver.feed_level(level);
   return std::move(driver).finish();
 }

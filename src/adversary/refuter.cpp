@@ -6,12 +6,22 @@
 #include "obs/obs.hpp"
 #include "sim/compiled_net.hpp"
 #include "util/bits.hpp"
+#include "util/thread_pool.hpp"
 
 namespace shufflebound {
 
 namespace {
 
+AdversaryOptions adversary_options(const RefuteOptions& options) {
+  AdversaryOptions out;
+  out.k = options.k;
+  out.pool = options.pool;
+  out.progress = options.progress;
+  return out;
+}
+
 RefutationResult finish(const AdversaryResult& adversary,
+                        const RefuteOptions& options,
                         const std::function<bool(const Witness&)>& verify,
                         std::string scope_note) {
   RefutationResult result;
@@ -23,6 +33,7 @@ RefutationResult finish(const AdversaryResult& adversary,
   std::optional<Certificate> cert;
   {
     SB_OBS_SPAN("refuter", "witness_build");
+    SB_OBS_TIME_COUNT("refuter.phase_us.witness_build");
     cert = make_certificate(adversary);
   }
   if (!cert) {
@@ -32,6 +43,8 @@ RefutationResult finish(const AdversaryResult& adversary,
   bool verified = false;
   {
     SB_OBS_SPAN("refuter", "witness_replay");
+    SB_OBS_TIME_COUNT("refuter.phase_us.witness_replay");
+    if (options.progress) options.progress();
     verified = verify(cert->witness);
   }
   if (!verified) {
@@ -46,13 +59,15 @@ RefutationResult finish(const AdversaryResult& adversary,
 
 }  // namespace
 
-RefutationResult refute(const IteratedRdn& net, std::uint32_t k) {
+RefutationResult refute(const IteratedRdn& net, const RefuteOptions& options) {
   SB_OBS_SPAN("refuter", "refute");
-  const AdversaryResult adversary = run_adversary(net, k);
+  SB_OBS_TIME_COUNT("refuter.phase_us.refute");
+  const AdversaryResult adversary =
+      run_adversary(net, adversary_options(options));
   std::ostringstream note;
   note << "iterated RDN, " << net.stage_count() << " stage(s)";
   return finish(
-      adversary,
+      adversary, options,
       [&](const Witness& w) {
         // Verify through the compiled kernel: the certificate's validity
         // must not depend on the same evaluator the adversary ran on.
@@ -61,8 +76,10 @@ RefutationResult refute(const IteratedRdn& net, std::uint32_t k) {
       note.str());
 }
 
-RefutationResult refute(const RegisterNetwork& net, std::uint32_t k) {
+RefutationResult refute(const RegisterNetwork& net,
+                        const RefuteOptions& options) {
   SB_OBS_SPAN("refuter", "refute");
+  SB_OBS_TIME_COUNT("refuter.phase_us.refute");
   if (!is_pow2(net.width()) || net.width() < 4) {
     RefutationResult result;
     result.detail = "width must be a power of two >= 4";
@@ -76,19 +93,22 @@ RefutationResult refute(const RegisterNetwork& net, std::uint32_t k) {
     return result;
   }
   const IteratedRdn rdn = shuffle_to_iterated_rdn(net);
-  const AdversaryResult adversary = run_adversary(rdn, k);
+  const AdversaryResult adversary =
+      run_adversary(rdn, adversary_options(options));
   std::ostringstream note;
   note << "shuffle-based network, " << rdn.stage_count() << " chunk(s) of lg n";
   return finish(
-      adversary,
+      adversary, options,
       [&](const Witness& w) {
         return check_witness(compile(net), w).refutes_sorting();
       },
       note.str());
 }
 
-RefutationResult refute(const ComparatorNetwork& net, std::uint32_t k) {
+RefutationResult refute(const ComparatorNetwork& net,
+                        const RefuteOptions& options) {
   SB_OBS_SPAN("refuter", "refute");
+  SB_OBS_TIME_COUNT("refuter.phase_us.refute");
   RefutationResult out_of_scope;
   if (!is_pow2(net.width()) || net.width() < 4) {
     out_of_scope.detail = "width must be a power of two >= 4";
@@ -115,15 +135,34 @@ RefutationResult refute(const ComparatorNetwork& net, std::uint32_t k) {
     ++chunks;
     if (last >= net.depth()) break;
   }
-  const AdversaryResult adversary = run_adversary(rdn, k);
+  const AdversaryResult adversary =
+      run_adversary(rdn, adversary_options(options));
   std::ostringstream note;
   note << "circuit sliced into " << chunks << " recognized RDN chunk(s)";
   return finish(
-      adversary,
+      adversary, options,
       [&](const Witness& w) {
         return check_witness(compile(net), w).refutes_sorting();
       },
       note.str());
+}
+
+RefutationResult refute(const IteratedRdn& net, std::uint32_t k) {
+  RefuteOptions options;
+  options.k = k;
+  return refute(net, options);
+}
+
+RefutationResult refute(const RegisterNetwork& net, std::uint32_t k) {
+  RefuteOptions options;
+  options.k = k;
+  return refute(net, options);
+}
+
+RefutationResult refute(const ComparatorNetwork& net, std::uint32_t k) {
+  RefuteOptions options;
+  options.k = k;
+  return refute(net, options);
 }
 
 }  // namespace shufflebound

@@ -13,12 +13,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "adversary/certificate.hpp"
 
 namespace shufflebound {
+
+class ThreadPool;
 
 enum class RefutationStatus : std::uint8_t {
   Refuted,            // certificate produced and self-verified
@@ -33,16 +36,37 @@ struct RefutationResult {
   std::string detail;          // human-readable scope/bounds note
 };
 
-/// Refutes a shuffle-based register network. k = 0 picks the paper's
-/// k = lg n. Throws only on malformed networks (width not a power of
-/// two); a non-shuffle-based network yields NotInScope.
+/// Knobs shared by every refute() overload.
+struct RefuteOptions {
+  /// k = 0 picks the paper's k = lg n.
+  std::uint32_t k = 0;
+  /// Fans the adversary refinement and witness replay out over this pool;
+  /// nullptr runs the reference serial path. Results are bit-for-bit
+  /// identical either way (every parallel loop writes pre-assigned
+  /// disjoint slots).
+  ThreadPool* pool = nullptr;
+  /// Cooperative-cancellation hook: invoked at every RDN level and every
+  /// witness replay, always on the calling thread before work fans out.
+  /// Throw from it to abort; the exception propagates to the refute()
+  /// caller with all pool workers quiesced.
+  std::function<void()> progress;
+};
+
+/// Refutes a shuffle-based register network. Throws only on malformed
+/// networks (width not a power of two); a non-shuffle-based network
+/// yields NotInScope.
 RefutationResult refute(const RegisterNetwork& net, std::uint32_t k = 0);
+RefutationResult refute(const RegisterNetwork& net,
+                        const RefuteOptions& options);
 
 /// Refutes a circuit by slicing into lg n-level chunks and recognizing
 /// each as a reverse delta network.
 RefutationResult refute(const ComparatorNetwork& net, std::uint32_t k = 0);
+RefutationResult refute(const ComparatorNetwork& net,
+                        const RefuteOptions& options);
 
 /// Refutes an iterated RDN directly.
 RefutationResult refute(const IteratedRdn& net, std::uint32_t k = 0);
+RefutationResult refute(const IteratedRdn& net, const RefuteOptions& options);
 
 }  // namespace shufflebound

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "adversary/lemma41.hpp"
@@ -19,6 +20,8 @@
 #include "pattern/input_pattern.hpp"
 
 namespace shufflebound {
+
+class ThreadPool;
 
 struct AdversaryStageStats {
   std::size_t entering = 0;    // |M_0-set| entering this chunk
@@ -51,10 +54,30 @@ enum class SetSelection : std::uint8_t {
   Median,         // middle of the nonempty sets, by index
 };
 
+/// Execution options for the adversary pipeline.
+struct AdversaryOptions {
+  /// k = 0 selects the paper's choice k = lg n (and at least 1).
+  std::uint32_t k = 0;
+  SetSelection selection = SetSelection::Largest;
+  /// Fans the per-level and per-slot work out over this pool; nullptr is
+  /// the serial reference path. Both paths are bit-identical (every
+  /// parallel loop writes disjoint pre-assigned slots), so the serial
+  /// mode stays available for differential tests via this flag alone.
+  ThreadPool* pool = nullptr;
+  /// Invoked once per RDN level consumed - the cooperative-deadline hook
+  /// (throw to abort; the exception propagates out of run_adversary, also
+  /// across pool workers via parallel_for's exception channel).
+  std::function<void()> progress;
+};
+
 /// Runs the adversary over all stages of `net`. k = 0 selects the paper's
 /// choice k = lg n (and at least 1).
 AdversaryResult run_adversary(const IteratedRdn& net, std::uint32_t k = 0,
                               SetSelection selection = SetSelection::Largest);
+
+/// Options form: pool-parallel execution and cooperative deadlines.
+AdversaryResult run_adversary(const IteratedRdn& net,
+                              const AdversaryOptions& options);
 
 /// The theorem's floor n / lg^{4d} n.
 double theorem41_bound(wire_t n, std::size_t d);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace shufflebound {
 
@@ -38,25 +39,38 @@ Witness witness_for_pair(const AdversaryResult& result, wire_t w0, wire_t w1) {
 }  // namespace
 
 std::vector<Witness> enumerate_witnesses(const AdversaryResult& result,
-                                         std::size_t limit) {
-  std::vector<Witness> witnesses;
+                                         std::size_t limit, ThreadPool* pool) {
+  // Enumerate the pair indices first (cheap), then build the witnesses -
+  // each an O(n log n) linearize, the measured cost - by index, so the
+  // parallel path fills the same slots the serial loop would.
+  std::vector<std::pair<wire_t, wire_t>> pairs;
   const auto& survivors = result.survivors;
-  for (std::size_t a = 0; a < survivors.size() && witnesses.size() < limit;
-       ++a) {
-    for (std::size_t b = a + 1;
-         b < survivors.size() && witnesses.size() < limit; ++b) {
-      witnesses.push_back(
-          witness_for_pair(result, survivors[a], survivors[b]));
+  for (std::size_t a = 0; a < survivors.size() && pairs.size() < limit; ++a) {
+    for (std::size_t b = a + 1; b < survivors.size() && pairs.size() < limit;
+         ++b) {
+      pairs.emplace_back(survivors[a], survivors[b]);
     }
+  }
+  std::vector<Witness> witnesses(pairs.size());
+  const auto build = [&](std::size_t i) {
+    witnesses[i] = witness_for_pair(result, pairs[i].first, pairs[i].second);
+  };
+  if (pool != nullptr && pairs.size() > 1) {
+    pool->parallel_for(0, pairs.size(), build);
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) build(i);
   }
   return witnesses;
 }
 
 namespace {
 
+/// Runs `input` through the network with an O(1) pair recorder tracking
+/// the witness values {m, m+1} - the only pair judge() ever queries.
 template <typename Net>
-std::vector<wire_t> run_with_recorder(const Net& net, const Permutation& input,
-                                      ComparisonRecorder& recorder) {
+std::vector<wire_t> run_with_pair_recorder(const Net& net,
+                                           const Permutation& input,
+                                           PairComparisonRecorder& recorder) {
   std::vector<wire_t> values(input.image().begin(), input.image().end());
   if constexpr (std::is_same_v<Net, ComparatorNetwork>) {
     net.evaluate_in_place(std::span<wire_t>(values), std::less<wire_t>{},
@@ -67,13 +81,12 @@ std::vector<wire_t> run_with_recorder(const Net& net, const Permutation& input,
   return values;
 }
 
-WitnessCheck judge(const Witness& w, const ComparisonRecorder& rec_pi,
-                   const ComparisonRecorder& rec_prime,
+WitnessCheck judge(const Witness& w, bool pair_compared_pi,
+                   bool pair_compared_prime,
                    const std::vector<wire_t>& out_pi,
                    const std::vector<wire_t>& out_prime) {
   WitnessCheck check;
-  check.never_compared =
-      !rec_pi.compared(w.m, w.m + 1) && !rec_prime.compared(w.m, w.m + 1);
+  check.never_compared = !pair_compared_pi && !pair_compared_prime;
 
   const auto swap_pair = [&](wire_t v) -> wire_t {
     if (v == w.m) return w.m + 1;
@@ -92,13 +105,12 @@ WitnessCheck judge(const Witness& w, const ComparisonRecorder& rec_pi,
 
 template <typename Net>
 WitnessCheck check_impl(const Net& net, const Witness& w) {
-  const wire_t n = w.pi.size();
-  ComparisonRecorder rec_pi(n);
-  ComparisonRecorder rec_prime(n);
-  const std::vector<wire_t> out_pi = run_with_recorder(net, w.pi, rec_pi);
+  PairComparisonRecorder rec_pi(w.m, w.m + 1);
+  PairComparisonRecorder rec_prime(w.m, w.m + 1);
+  const std::vector<wire_t> out_pi = run_with_pair_recorder(net, w.pi, rec_pi);
   const std::vector<wire_t> out_prime =
-      run_with_recorder(net, w.pi_prime, rec_prime);
-  return judge(w, rec_pi, rec_prime, out_pi, out_prime);
+      run_with_pair_recorder(net, w.pi_prime, rec_prime);
+  return judge(w, rec_pi.compared(), rec_prime.compared(), out_pi, out_prime);
 }
 
 }  // namespace
@@ -118,16 +130,35 @@ WitnessCheck check_witness(const IteratedRdn& net, const Witness& w) {
 WitnessCheck check_witness(const CompiledNetwork& net, const Witness& w) {
   SB_OBS_SPAN("refuter", "witness_check");
   SB_OBS_COUNT("refuter.witness_checks", 1);
-  const wire_t n = w.pi.size();
-  ComparisonRecorder rec_pi(n);
-  ComparisonRecorder rec_prime(n);
+  PairComparisonRecorder rec_pi(w.m, w.m + 1);
+  PairComparisonRecorder rec_prime(w.m, w.m + 1);
   std::vector<wire_t> out_pi(w.pi.image().begin(), w.pi.image().end());
   std::vector<wire_t> out_prime(w.pi_prime.image().begin(),
                                 w.pi_prime.image().end());
   std::vector<wire_t> scratch;
   net.apply_with_observer(out_pi, scratch, rec_pi);
   net.apply_with_observer(out_prime, scratch, rec_prime);
-  return judge(w, rec_pi, rec_prime, out_pi, out_prime);
+  return judge(w, rec_pi.compared(), rec_prime.compared(), out_pi, out_prime);
+}
+
+std::vector<WitnessCheck> check_witnesses(const CompiledNetwork& net,
+                                          std::span<const Witness> witnesses,
+                                          ThreadPool* pool,
+                                          const std::function<void()>& progress) {
+  SB_OBS_COUNT("refuter.witness_batches", 1);
+  if (progress) {
+    for (std::size_t i = 0; i < witnesses.size(); ++i) progress();
+  }
+  std::vector<WitnessCheck> checks(witnesses.size());
+  const auto check_one = [&](std::size_t i) {
+    checks[i] = check_witness(net, witnesses[i]);
+  };
+  if (pool != nullptr && witnesses.size() > 1) {
+    pool->parallel_for(0, witnesses.size(), check_one);
+  } else {
+    for (std::size_t i = 0; i < witnesses.size(); ++i) check_one(i);
+  }
+  return checks;
 }
 
 }  // namespace shufflebound

@@ -11,7 +11,9 @@
 // adversary's own bookkeeping.
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <span>
 
 #include "adversary/theorem41.hpp"
 #include "core/comparator_network.hpp"
@@ -36,8 +38,12 @@ std::optional<Witness> extract_witness(const AdversaryResult& result);
 /// All (survivor choose 2) witness pairs, capped at `limit`: with s
 /// survivors the adversary certifies not one but Theta(s^2) independent
 /// counterexample input pairs - the "refutation density" reported in E5.
+/// `pool` builds the witnesses (each an O(n log n) linearize) in
+/// parallel, writing by pair index, so the output order - and every byte
+/// of every witness - matches the serial path exactly.
 std::vector<Witness> enumerate_witnesses(const AdversaryResult& result,
-                                         std::size_t limit = 64);
+                                         std::size_t limit = 64,
+                                         ThreadPool* pool = nullptr);
 
 struct WitnessCheck {
   /// Values m and m+1 were never compared, on either input (Def. 3.6).
@@ -60,5 +66,14 @@ WitnessCheck check_witness(const IteratedRdn& net, const Witness& w);
 /// comparisons and the replay reaches the same refutation verdict. Lets a
 /// caller amortize one compile() across many witnesses of the same net.
 WitnessCheck check_witness(const CompiledNetwork& net, const Witness& w);
+
+/// Replays a batch of witnesses against one compiled network, in parallel
+/// over `pool` when provided (nullptr = serial). Verdicts are written by
+/// index, so the result order matches the input order at any concurrency.
+/// `progress` (may be empty) is invoked once per witness on the calling
+/// thread before the batch fans out - the cooperative-deadline hook.
+std::vector<WitnessCheck> check_witnesses(
+    const CompiledNetwork& net, std::span<const Witness> witnesses,
+    ThreadPool* pool = nullptr, const std::function<void()>& progress = {});
 
 }  // namespace shufflebound

@@ -176,4 +176,30 @@ class ComparisonRecorder {
   std::vector<bool> seen_;
 };
 
+/// Records whether one specific value pair was ever compared. The witness
+/// replay of Corollary 4.1.1 only ever asks about the adjacent values
+/// {m, m+1}, so this O(1)-state recorder replaces ComparisonRecorder's
+/// n^2-bit matrix on that path - the allocation that used to dominate
+/// replay time (and wall memory) from n = 2^12 up.
+class PairComparisonRecorder {
+ public:
+  PairComparisonRecorder(std::size_t a, std::size_t b) : a_(a), b_(b) {}
+
+  template <typename T>
+  void on_compare(std::size_t /*level*/, const Gate& /*gate*/, const T& x,
+                  const T& y) noexcept {
+    const auto u = static_cast<std::size_t>(x);
+    const auto v = static_cast<std::size_t>(y);
+    if ((u == a_ && v == b_) || (u == b_ && v == a_)) seen_ = true;
+  }
+
+  /// Was the tracked pair ever compared?
+  bool compared() const noexcept { return seen_; }
+
+ private:
+  std::size_t a_;
+  std::size_t b_;
+  bool seen_ = false;
+};
+
 }  // namespace shufflebound

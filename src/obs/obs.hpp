@@ -252,8 +252,41 @@ class Span {
   bool active_;
 };
 
+/// RAII wall-time accumulator: adds the scope's elapsed microseconds to a
+/// counter at destruction. Spans already record per-occurrence timings
+/// for the trace view; this exports the *sum* through the metrics
+/// snapshot, so phase attribution (e.g. the refuter's pipeline stages)
+/// survives into --metrics output without a trace parser.
+class ScopedCounterTimer {
+ public:
+  explicit ScopedCounterTimer(Counter* counter)
+      : counter_(counter), start_us_(counter != nullptr ? now_us() : 0) {}
+  ~ScopedCounterTimer() {
+    if (counter_ != nullptr) counter_->add(now_us() - start_us_);
+  }
+
+  ScopedCounterTimer(const ScopedCounterTimer&) = delete;
+  ScopedCounterTimer& operator=(const ScopedCounterTimer&) = delete;
+  ScopedCounterTimer(ScopedCounterTimer&&) = delete;
+  ScopedCounterTimer& operator=(ScopedCounterTimer&&) = delete;
+
+ private:
+  Counter* counter_;
+  std::uint64_t start_us_;
+};
+
 #define SB_OBS_CONCAT_INNER(a, b) a##b
 #define SB_OBS_CONCAT(a, b) SB_OBS_CONCAT_INNER(a, b)
+
+/// Accumulates the enclosing scope's wall time (us) into the named
+/// counter when observability is enabled; a single relaxed load when
+/// disabled. Counter resolution happens per entry (not cached): callers
+/// are coarse phase scopes, not hot loops.
+#define SB_OBS_TIME_COUNT(name)                                     \
+  ::shufflebound::obs::ScopedCounterTimer SB_OBS_CONCAT(            \
+      sb_obs_timer_, __COUNTER__)(::shufflebound::obs::enabled()    \
+                                      ? &::shufflebound::obs::counter(name) \
+                                      : nullptr)
 
 /// Declares an RAII span covering the rest of the enclosing scope.
 /// `cat` and `name` must be string literals (or otherwise outlive the

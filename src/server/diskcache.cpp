@@ -126,26 +126,6 @@ bool truncate_file(const std::string& path, std::uint64_t size) {
 
 }  // namespace
 
-std::uint32_t crc32_ieee(const void* data, std::size_t size,
-                         std::uint32_t seed) noexcept {
-  // Reflected CRC-32 (polynomial 0xEDB88320), table built on first use.
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = ~seed;
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  for (std::size_t i = 0; i < size; ++i)
-    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
-  return ~crc;
-}
-
 DiskBackedCache::DiskBackedCache(DiskCacheConfig config)
     : config_(std::move(config)) {
   if (config_.directory.empty())

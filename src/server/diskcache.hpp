@@ -60,6 +60,7 @@
 #include <unordered_map>
 
 #include "service/cache.hpp"
+#include "util/crc32.hpp"
 
 namespace shufflebound {
 
@@ -162,9 +163,8 @@ class DiskBackedCache final : public ResultCache {
   std::atomic<std::uint64_t> io_errors_{0};
 };
 
-/// CRC-32 (IEEE 802.3, reflected) over `size` bytes - exposed for the
-/// corruption tests, which flip bytes and assert rejection.
-std::uint32_t crc32_ieee(const void* data, std::size_t size,
-                         std::uint32_t seed = 0) noexcept;
+// crc32_ieee - the CRC the log and index use, exposed for the corruption
+// tests (which flip bytes and assert rejection) - now lives in
+// util/crc32.hpp, shared with the chunked certificate stream.
 
 }  // namespace shufflebound

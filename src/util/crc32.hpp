@@ -1,0 +1,34 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), chainable via
+// `seed`. One implementation shared by every integrity check in the
+// repo: the disk cache's record log / index snapshot (src/server/) and
+// the chunked certificate stream (src/adversary/certificate.hpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace shufflebound {
+
+inline std::uint32_t crc32_ieee(const void* data, std::size_t size,
+                                std::uint32_t seed = 0) noexcept {
+  // Table built on first use; function-local static keeps exactly one
+  // instance process-wide even though this header is multiply included.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace shufflebound

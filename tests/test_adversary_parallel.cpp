@@ -1,0 +1,329 @@
+// Parallel adversary pipeline: the pool-backed path must be bit-for-bit
+// identical to the serial reference at every layer (lemma 4.1 refinement,
+// the full adversary, witness enumeration/replay, certificate bytes), the
+// v2 chunked certificate stream must round-trip and fail closed on every
+// kind of damage, exceptions thrown from the cooperative progress hook
+// must propagate cleanly, and the per-phase wall-time counters must be
+// populated when observability is on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adversary/certificate.hpp"
+#include "adversary/lemma41.hpp"
+#include "adversary/refuter.hpp"
+#include "adversary/sweep.hpp"
+#include "adversary/witness.hpp"
+#include "networks/rdn.hpp"
+#include "networks/shuffle.hpp"
+#include "obs/obs.hpp"
+#include "perm/permutation.hpp"
+#include "sim/compiled_net.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace shufflebound {
+namespace {
+
+/// Butterfly chunks behind seeded random permutations - wide enough
+/// (n = 256 at d = 2) that every parallel loop actually crosses its
+/// serial-fallback grain.
+IteratedRdn sample_network(wire_t n, std::size_t d, std::uint64_t seed) {
+  Prng rng(seed);
+  return make_iterated_rdn(
+      n, d, [&](std::size_t) { return butterfly_rdn(log2_exact(n)); },
+      [&](std::size_t) { return random_permutation(n, rng); });
+}
+
+void expect_same_adversary(const AdversaryResult& a, const AdversaryResult& b) {
+  EXPECT_EQ(a.input_pattern, b.input_pattern);
+  EXPECT_EQ(a.survivors, b.survivors);
+  EXPECT_EQ(a.theorem_bound, b.theorem_bound);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].entering, b.stages[i].entering);
+    EXPECT_EQ(a.stages[i].retained, b.stages[i].retained);
+    EXPECT_EQ(a.stages[i].survivors, b.stages[i].survivors);
+    EXPECT_EQ(a.stages[i].set_count, b.stages[i].set_count);
+    EXPECT_EQ(a.stages[i].nonempty_sets, b.stages[i].nonempty_sets);
+  }
+}
+
+TEST(AdversaryParallel, Lemma41BitIdenticalToSerial) {
+  ThreadPool pool(4);
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Prng rng(seed);
+    const RdnChunk chunk = random_rdn(8, rng, 10, 5);  // n = 256
+    const InputPattern p(chunk.net.width(), sym_M(0));
+    const Lemma41Result serial = lemma41(chunk, p, 8, nullptr);
+    const Lemma41Result parallel = lemma41(chunk, p, 8, &pool);
+    EXPECT_EQ(serial.refined, parallel.refined);
+    EXPECT_EQ(serial.output, parallel.output);
+    EXPECT_EQ(serial.sets, parallel.sets);
+    EXPECT_EQ(serial.final_position, parallel.final_position);
+    EXPECT_EQ(serial.stats.initial_m0, parallel.stats.initial_m0);
+    EXPECT_EQ(serial.stats.retained, parallel.stats.retained);
+    EXPECT_EQ(serial.stats.set_count, parallel.stats.set_count);
+    EXPECT_EQ(serial.stats.nonempty_sets, parallel.stats.nonempty_sets);
+    EXPECT_EQ(serial.stats.largest_set, parallel.stats.largest_set);
+    EXPECT_EQ(serial.stats.loss_per_level, parallel.stats.loss_per_level);
+  }
+}
+
+TEST(AdversaryParallel, AdversaryBitIdenticalToSerial) {
+  ThreadPool pool(4);
+  for (const std::uint64_t seed : {5u, 6u}) {
+    const IteratedRdn net = sample_network(256, 2, seed);
+    const AdversaryResult serial = run_adversary(net);
+    AdversaryOptions options;
+    options.pool = &pool;
+    const AdversaryResult parallel = run_adversary(net, options);
+    expect_same_adversary(serial, parallel);
+  }
+}
+
+TEST(AdversaryParallel, RefuteCertificateBytesIdentical) {
+  ThreadPool pool(4);
+  const IteratedRdn net = sample_network(256, 2, 7);
+  const RefutationResult serial = refute(net);
+  RefuteOptions options;
+  options.pool = &pool;
+  const RefutationResult parallel = refute(net, options);
+  ASSERT_EQ(serial.status, RefutationStatus::Refuted);
+  ASSERT_EQ(parallel.status, RefutationStatus::Refuted);
+  EXPECT_EQ(to_text(*serial.certificate), to_text(*parallel.certificate));
+  EXPECT_EQ(to_chunked_text(*serial.certificate),
+            to_chunked_text(*parallel.certificate));
+  expect_same_adversary(serial.adversary, parallel.adversary);
+}
+
+TEST(AdversaryParallel, WitnessBatchIdenticalToSerial) {
+  ThreadPool pool(4);
+  const IteratedRdn net = sample_network(128, 1, 11);
+  const AdversaryResult result = run_adversary(net);
+  const auto serial = enumerate_witnesses(result, 64, nullptr);
+  const auto parallel = enumerate_witnesses(result, 64, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_GE(serial.size(), 2u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].pi, parallel[i].pi);
+    EXPECT_EQ(serial[i].pi_prime, parallel[i].pi_prime);
+    EXPECT_EQ(serial[i].w0, parallel[i].w0);
+    EXPECT_EQ(serial[i].w1, parallel[i].w1);
+    EXPECT_EQ(serial[i].m, parallel[i].m);
+  }
+  const CompiledNetwork compiled = compile(net);
+  const auto checks_serial = check_witnesses(compiled, serial, nullptr);
+  const auto checks_parallel = check_witnesses(compiled, parallel, &pool);
+  ASSERT_EQ(checks_serial.size(), checks_parallel.size());
+  for (std::size_t i = 0; i < checks_serial.size(); ++i) {
+    EXPECT_EQ(checks_serial[i].never_compared,
+              checks_parallel[i].never_compared);
+    EXPECT_EQ(checks_serial[i].same_permutation,
+              checks_parallel[i].same_permutation);
+    EXPECT_TRUE(checks_parallel[i].refutes_sorting());
+  }
+}
+
+// ------------------------------------------------- v2 stream round-trip --
+
+Certificate sample_certificate(wire_t n, std::size_t d, std::uint64_t seed) {
+  const RefutationResult result = refute(sample_network(n, d, seed));
+  EXPECT_EQ(result.status, RefutationStatus::Refuted);
+  return *result.certificate;
+}
+
+TEST(ChunkedCertificate, RoundTripMultiChunk) {
+  const Certificate cert = sample_certificate(256, 2, 21);
+  // Tiny chunks force a multi-chunk stream even at modest n.
+  const std::string text = to_chunked_text(cert, 64);
+  EXPECT_TRUE(is_chunked_certificate_text(text));
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'), 6);
+  const Certificate parsed = certificate_from_text(text);
+  EXPECT_EQ(parsed.n, cert.n);
+  EXPECT_EQ(parsed.pattern, cert.pattern);
+  EXPECT_EQ(parsed.survivors, cert.survivors);
+  EXPECT_EQ(parsed.witness.pi, cert.witness.pi);
+  EXPECT_EQ(parsed.witness.pi_prime, cert.witness.pi_prime);
+  EXPECT_EQ(parsed.witness.w0, cert.witness.w0);
+  EXPECT_EQ(parsed.witness.w1, cert.witness.w1);
+  EXPECT_EQ(parsed.witness.m, cert.witness.m);
+  // Re-encoding the parsed copy reproduces the exact bytes.
+  EXPECT_EQ(to_chunked_text(parsed, 64), text);
+}
+
+TEST(ChunkedCertificate, CompressesAgainstV1) {
+  // The stream stores one permutation instead of two, as varints instead
+  // of decimal text; base64 gives a third of that back. Net: ~0.55x at
+  // n = 256, trending to ~0.50x by n = 4096.
+  const Certificate cert = sample_certificate(256, 1, 22);
+  EXPECT_LT(static_cast<double>(to_chunked_text(cert).size()),
+            0.65 * static_cast<double>(to_text(cert).size()));
+}
+
+TEST(ChunkedCertificate, V1StillParses) {
+  const Certificate cert = sample_certificate(64, 1, 23);
+  const std::string v1 = to_text(cert);
+  EXPECT_FALSE(is_chunked_certificate_text(v1));
+  const Certificate parsed = certificate_from_text(v1);
+  EXPECT_EQ(parsed.witness.pi, cert.witness.pi);
+}
+
+TEST(ChunkedCertificate, NonCanonicalWitnessRefused) {
+  Certificate cert = sample_certificate(64, 1, 24);
+  std::vector<wire_t> image(cert.witness.pi_prime.image().begin(),
+                            cert.witness.pi_prime.image().end());
+  std::swap(image[2], image[3]);  // no longer pi with the pair swapped
+  cert.witness.pi_prime = Permutation(std::move(image));
+  EXPECT_THROW(to_chunked_text(cert), std::invalid_argument);
+}
+
+TEST(ChunkedCertificate, DamageFailsClosed) {
+  const Certificate cert = sample_certificate(128, 1, 25);
+  const std::string good = to_chunked_text(cert, 96);
+  ASSERT_NO_THROW(certificate_from_text(good));
+
+  // Flip one payload byte (line 3 is the first base64 payload).
+  {
+    std::string bad = good;
+    const std::size_t payload = bad.find('\n', bad.find("chunk ")) + 1;
+    bad[payload] = bad[payload] == 'A' ? 'B' : 'A';
+    EXPECT_THROW(certificate_from_text(bad), std::invalid_argument);
+  }
+  // Truncate: drop the trailer.
+  {
+    std::string bad = good.substr(0, good.rfind("end "));
+    EXPECT_THROW(certificate_from_text(bad), std::invalid_argument);
+  }
+  // Truncate mid-stream: keep only the first chunk and the trailer.
+  {
+    const std::size_t second = good.find("chunk 1 ");
+    ASSERT_NE(second, std::string::npos);
+    std::string bad = good.substr(0, second) + good.substr(good.rfind("end "));
+    EXPECT_THROW(certificate_from_text(bad), std::invalid_argument);
+  }
+  // Length mismatch in a chunk header.
+  {
+    std::string bad = good;
+    const std::size_t pos = bad.find(" 96 ");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 4, " 95 ");
+    EXPECT_THROW(certificate_from_text(bad), std::invalid_argument);
+  }
+  // Wrong whole-body CRC in the trailer.
+  {
+    std::string bad = good;
+    const std::size_t crc = bad.rfind("crc ") + 4;
+    bad[crc] = bad[crc] == '0' ? '1' : '0';
+    EXPECT_THROW(certificate_from_text(bad), std::invalid_argument);
+  }
+  // Reordered chunks (swap the seq numbers; payloads stay put).
+  {
+    std::string bad = good;
+    const std::size_t c0 = bad.find("chunk 0 ");
+    const std::size_t c1 = bad.find("chunk 1 ");
+    ASSERT_NE(c1, std::string::npos);
+    bad[c0 + 6] = '1';
+    bad[c1 + 6] = '0';
+    EXPECT_THROW(certificate_from_text(bad), std::invalid_argument);
+  }
+  // Trailing garbage after the trailer.
+  {
+    EXPECT_THROW(certificate_from_text(good + "extra\n"),
+                 std::invalid_argument);
+  }
+  // Chunk count mismatch in the trailer.
+  {
+    std::string bad = good;
+    const std::size_t pos = bad.rfind("chunks ") + 7;
+    bad[pos] = '9';
+    EXPECT_THROW(certificate_from_text(bad), std::invalid_argument);
+  }
+}
+
+// ------------------------------------------- cancellation + exceptions --
+
+struct Cancelled {};
+
+TEST(AdversaryParallel, ProgressExceptionPropagates) {
+  ThreadPool pool(4);
+  const IteratedRdn net = sample_network(256, 2, 31);
+  RefuteOptions options;
+  options.pool = &pool;
+  int calls = 0;
+  options.progress = [&] {
+    if (++calls > 3) throw Cancelled{};
+  };
+  EXPECT_THROW(refute(net, options), Cancelled);
+  // The pool survives an abort and keeps producing correct results.
+  options.progress = {};
+  const RefutationResult after = refute(net, options);
+  EXPECT_EQ(after.status, RefutationStatus::Refuted);
+  EXPECT_EQ(to_text(*after.certificate), to_text(*refute(net).certificate));
+}
+
+TEST(AdversaryParallel, ProgressRunsOncePerLevelAndReplay) {
+  const IteratedRdn net = sample_network(64, 2, 32);
+  RefuteOptions options;
+  std::size_t calls = 0;
+  options.progress = [&] { ++calls; };
+  const RefutationResult result = refute(net, options);
+  EXPECT_EQ(result.status, RefutationStatus::Refuted);
+  // Once per RDN level (2 stages x lg 64 levels) plus once before the
+  // certificate replay.
+  EXPECT_EQ(calls, 2 * 6 + 1);
+}
+
+// ------------------------------------------------------ phase counters --
+
+TEST(AdversaryParallel, PhaseCountersPopulated) {
+  obs::set_enabled(true);
+  const IteratedRdn net = sample_network(128, 1, 33);
+  const RefutationResult result = refute(net);
+  obs::set_enabled(false);
+  EXPECT_EQ(result.status, RefutationStatus::Refuted);
+  // Phase wall-clock accrues into plain counters (exported with every
+  // metrics snapshot, unlike spans which need the trace).
+  EXPECT_GT(obs::counter("refuter.phase_us.refute").value(), 0u);
+  EXPECT_GT(obs::counter("refuter.phase_us.adversary").value(), 0u);
+  EXPECT_GT(obs::counter("refuter.phase_us.lemma41_refine").value(), 0u);
+}
+
+// -------------------------------------------------------------- sweep --
+
+TEST(Sweep, DeterministicAcrossParallelism) {
+  SweepConfig config;
+  config.lg_min = 4;
+  config.lg_max = 5;
+  config.max_depth = 2;
+  const std::vector<SweepPoint> serial = run_sweep(config);
+  ThreadPool pool(4);
+  config.pool = &pool;
+  const std::vector<SweepPoint> parallel = run_sweep(config);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].n, parallel[i].n);
+    EXPECT_EQ(serial[i].refuted_depth, parallel[i].refuted_depth);
+    EXPECT_EQ(serial[i].survivors, parallel[i].survivors);
+    EXPECT_EQ(serial[i].witnesses_refuting, parallel[i].witnesses_refuting);
+    EXPECT_TRUE(parallel[i].certificate_roundtrip_ok);
+    EXPECT_GE(serial[i].refuted_depth, 1u);
+  }
+}
+
+TEST(Sweep, JsonCarriesEveryPoint) {
+  SweepConfig config;
+  config.lg_min = 4;
+  config.lg_max = 4;
+  config.max_depth = 1;
+  const auto points = run_sweep(config);
+  const std::string json = sweep_to_json(config, points);
+  EXPECT_NE(json.find("\"experiment\": \"E21\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 16"), std::string::npos);
+  EXPECT_NE(json.find("\"refuted_depth\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shufflebound

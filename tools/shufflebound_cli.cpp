@@ -15,9 +15,19 @@
 //   analyze <file> [--json]           static order-relation analysis:
 //                                     verdict, trivial comparators, dead
 //                                     levels, fingerprints (docs/analyze.md)
-//   refute <file>                     run the paper's adversary; on success
-//                                     print a nonsorting-certificate
-//   verify <network-file> <cert-file> re-check a certificate
+//   refute <file> [--serial] [--workers n] [--chunked]
+//                                     run the paper's adversary; on success
+//                                     print a nonsorting-certificate (the
+//                                     chunked v2 stream for n >= 512 or
+//                                     with --chunked); parallel over a
+//                                     thread pool unless --serial
+//   sweep [--family f] [--lg-min a] [--lg-max b] [--max-depth d] [--seed s]
+//         [--witnesses w] [--serial] [--workers n] [--json]
+//                                     empirical bound curve: deepest
+//                                     refuted iterated-RDN depth vs the
+//                                     paper's floor across n = 2^a..2^b
+//                                     (docs/adversary.md, EXPERIMENTS §E21)
+//   verify <network-file> <cert-file> re-check a certificate (either format)
 //   dot   <file>                      Graphviz rendering of a circuit
 //   compact <file>                    ASAP re-leveling to critical path
 //   search <n> <max_depth>            minimal-depth shuffle sorter search
@@ -54,6 +64,7 @@
 
 #include "adversary/certificate.hpp"
 #include "adversary/refuter.hpp"
+#include "adversary/sweep.hpp"
 #include "analysis/representative.hpp"
 #include "analyze/analyzer.hpp"
 #include "analysis/search.hpp"
@@ -76,6 +87,7 @@
 #include "sim/bitparallel.hpp"
 #include "util/bits.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace shufflebound;
 
@@ -333,15 +345,52 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
-int cmd_refute(const std::string& path) {
+int cmd_refute(int argc, char** argv) {
+  std::string path;
+  bool serial = false;
+  bool chunked = false;
+  std::size_t workers = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--serial") {
+      serial = true;
+    } else if (arg == "--chunked") {
+      chunked = true;
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: refute <file> [--serial] [--workers n] "
+                   "[--chunked]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: refute <file> [--serial] [--workers n] "
+                 "[--chunked]\n");
+    return 2;
+  }
   const LoadedNetwork loaded = load_network(path);
+  std::optional<ThreadPool> pool;          // nullopt = serial reference path
+  if (!serial) pool.emplace(workers);      // 0 = hardware concurrency
+  RefuteOptions options;
+  options.pool = pool ? &*pool : nullptr;
   const RefutationResult result =
-      loaded.iterated_form   ? refute(*loaded.iterated_form)
-      : loaded.register_form ? refute(*loaded.register_form)
-                             : refute(loaded.circuit);
+      loaded.iterated_form   ? refute(*loaded.iterated_form, options)
+      : loaded.register_form ? refute(*loaded.register_form, options)
+                             : refute(loaded.circuit, options);
   switch (result.status) {
     case RefutationStatus::Refuted:
-      std::fputs(to_text(*result.certificate).c_str(), stdout);
+      // The v2 chunked stream on request or for wide certificates (where
+      // the flat text gets unwieldy); verify accepts both.
+      if (chunked || result.certificate->n >= 512) {
+        std::fputs(to_chunked_text(*result.certificate).c_str(), stdout);
+      } else {
+        std::fputs(to_text(*result.certificate).c_str(), stdout);
+      }
       std::fprintf(stderr, "# %s\n", result.detail.c_str());
       return 0;
     case RefutationStatus::TooFewSurvivors:
@@ -356,6 +405,61 @@ int cmd_refute(const std::string& path) {
       return 2;
   }
   return 2;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  SweepConfig config;
+  bool serial = false;
+  bool json = false;
+  std::size_t workers = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--family" && has_value) {
+      config.family = sweep_family_from_name(argv[++i]);
+    } else if (arg == "--lg-min" && has_value) {
+      config.lg_min = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--lg-max" && has_value) {
+      config.lg_max = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--max-depth" && has_value) {
+      config.max_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--seed" && has_value) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--witnesses" && has_value) {
+      config.witnesses = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && has_value) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--serial") {
+      serial = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: sweep [--family butterfly|shuffle|random] [--lg-min a] "
+          "[--lg-max b] [--max-depth d] [--seed s] [--witnesses w] "
+          "[--serial] [--workers n] [--json]\n");
+      return 2;
+    }
+  }
+  std::optional<ThreadPool> pool;          // nullopt = serial reference path
+  if (!serial) pool.emplace(workers);      // 0 = hardware concurrency
+  config.pool = pool ? &*pool : nullptr;
+  const std::vector<SweepPoint> points = run_sweep(config);
+  if (json) {
+    std::fputs(sweep_to_json(config, points).c_str(), stdout);
+  } else {
+    std::fputs(sweep_to_table(points).c_str(), stdout);
+  }
+  // Exit nonzero if any point failed to refute even d = 1 or produced a
+  // certificate that did not round-trip - the CI gate rides on this.
+  for (const SweepPoint& p : points) {
+    if (p.refuted_depth == 0 || !p.certificate_roundtrip_ok) {
+      std::fprintf(stderr, "sweep: point n=%u failed\n", p.n);
+      return 1;
+    }
+  }
+  return 0;
 }
 
 int cmd_show(const std::string& path) {
@@ -762,7 +866,7 @@ int cmd_route(wire_t n, std::uint64_t seed) {
 int dispatch(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s make|show|info|certify|analyze|refute|verify|dot|compact|search|prune|route|batch|lint|serve|connect"
+                 "usage: %s make|show|info|certify|analyze|refute|sweep|verify|dot|compact|search|prune|route|batch|lint|serve|connect"
                  " ... [--trace file] [--metrics file]\n",
                  argv[0]);
     return 2;
@@ -775,7 +879,8 @@ int dispatch(int argc, char** argv) {
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "certify" && argc >= 3) return cmd_certify(argc - 2, argv + 2);
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc - 2, argv + 2);
-    if (cmd == "refute" && argc >= 3) return cmd_refute(argv[2]);
+    if (cmd == "refute" && argc >= 3) return cmd_refute(argc - 2, argv + 2);
+    if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
     if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
     if (cmd == "compact" && argc >= 3) return cmd_compact(argv[2]);
