@@ -11,7 +11,7 @@
 // paper's open Theta(lg lg n) gap.
 #include <cmath>
 
-#include "analysis/search.hpp"
+#include "search/shuffle_search.hpp"
 #include "bench_util.hpp"
 #include "networks/shuffle.hpp"
 #include "sim/bitparallel.hpp"

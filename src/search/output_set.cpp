@@ -1,0 +1,73 @@
+#include "search/output_set.hpp"
+
+#include <bit>
+
+namespace shufflebound {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t OutputSet::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += std::size_t(std::popcount(w));
+  return total;
+}
+
+bool OutputSet::subset_of(const OutputSet& other) const noexcept {
+  if (other.n_ != n_) return false;
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  return true;
+}
+
+bool OutputSet::intersects(std::span<const std::uint64_t> mask) const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if ((words_[w] & mask[w]) != 0) return true;
+  return false;
+}
+
+void OutputSet::apply_comparator(std::span<const std::uint64_t> mover,
+                                 std::uint64_t delta,
+                                 std::span<std::uint64_t> scratch) noexcept {
+  // Select the members that move, clear them, then OR them back in at
+  // index + delta. All movers translate by the same delta, so the
+  // reinsertion is one big-shift over the word array.
+  const std::size_t words = words_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    scratch[w] = words_[w] & mover[w];
+    words_[w] &= ~mover[w];
+  }
+  const std::size_t word_shift = std::size_t(delta / 64);
+  const unsigned bit_shift = unsigned(delta % 64);
+  if (bit_shift == 0) {
+    for (std::size_t w = words; w-- > word_shift;)
+      words_[w] |= scratch[w - word_shift];
+  } else {
+    for (std::size_t w = words; w-- > word_shift;) {
+      std::uint64_t v = scratch[w - word_shift] << bit_shift;
+      if (w - word_shift > 0)
+        v |= scratch[w - word_shift - 1] >> (64 - bit_shift);
+      words_[w] |= v;
+    }
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> OutputSet::hash() const noexcept {
+  std::uint64_t h1 = mix64(0x5345415243483031ull ^ n_);
+  std::uint64_t h2 = mix64(0x5345415243483032ull + n_);
+  for (std::uint64_t w : words_) {
+    h1 = mix64(h1 ^ w);
+    h2 = mix64(h2 + (w ^ 0xA5A5A5A5A5A5A5A5ull));
+  }
+  return {h1, h2};
+}
+
+}  // namespace shufflebound

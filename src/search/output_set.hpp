@@ -1,0 +1,88 @@
+// The 0-1 state of a comparator-network prefix: the set of 0/1 vectors
+// its outputs can take, as a 2^n-bit set indexed by the vector itself
+// (bit w of the index = value on wire w).
+//
+// By the 0-1 principle this set determines everything the search needs
+// to know about a prefix: a prefix is completable to a sorter by a given
+// suffix iff the suffix maps every member to the sorted staircase, and a
+// prefix whose set is contained in another's is at least as close to
+// sorted (the output-set subsumption order; see docs/search.md).
+//
+// The one hot operation is applying a comparator level to the whole set
+// at once. A single ascending comparator (lo, hi), lo < hi, moves every
+// member with bit lo = 1 and bit hi = 0 to the member with those bits
+// swapped - an index translation by the CONSTANT delta 2^hi - 2^lo. So
+// one comparator on the whole set is mask-select + word shift + OR:
+// O(2^n / 64) word operations, no per-vector loop. The mover masks
+// {v : v_lo = 1, v_hi = 0} are precomputed per wire pair in
+// search/level_space.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/gate.hpp"
+
+namespace shufflebound {
+
+class OutputSet {
+ public:
+  OutputSet() = default;
+
+  /// The full input space {0,1}^n - the state of the empty prefix.
+  static OutputSet full(wire_t n) {
+    OutputSet s;
+    s.n_ = n;
+    s.words_.assign(word_count(n), 0);
+    const std::uint64_t total = std::uint64_t{1} << n;
+    for (std::uint64_t v = 0; v < total; v += 64) {
+      const std::uint64_t left = total - v;
+      s.words_[v / 64] =
+          left >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << left) - 1;
+    }
+    return s;
+  }
+
+  static std::size_t word_count(wire_t n) noexcept {
+    return ((std::size_t{1} << n) + 63) / 64;
+  }
+
+  wire_t width() const noexcept { return n_; }
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+  std::span<std::uint64_t> words() noexcept { return words_; }
+
+  bool test(std::uint64_t v) const noexcept {
+    return (words_[v / 64] >> (v % 64)) & 1u;
+  }
+
+  std::size_t count() const noexcept;
+
+  /// this ⊆ other.
+  bool subset_of(const OutputSet& other) const noexcept;
+
+  /// this ∩ mask != ∅ for a raw word span of the same length.
+  bool intersects(std::span<const std::uint64_t> mask) const noexcept;
+
+  /// Applies one ascending comparator in place given its precomputed
+  /// mover mask {v : v_lo = 1, v_hi = 0} and delta = 2^hi - 2^lo.
+  /// `scratch` must have word_count words and carries no state across
+  /// calls.
+  void apply_comparator(std::span<const std::uint64_t> mover,
+                        std::uint64_t delta,
+                        std::span<std::uint64_t> scratch) noexcept;
+
+  /// 128-bit content hash (splitmix-style); equal sets hash equal.
+  std::pair<std::uint64_t, std::uint64_t> hash() const noexcept;
+
+  friend bool operator==(const OutputSet&, const OutputSet&) = default;
+
+ private:
+  wire_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace shufflebound

@@ -1,0 +1,73 @@
+// Symmetry-broken two-layer prefix generation (Codish et al., Bundala &
+// Zavodny style).
+//
+// Every depth-optimal search in this module starts from the same first
+// layer: the maximal matching (0,1)(2,3)... - sound because the full
+// input space is a product over wire pairs, so adding a first-layer
+// comparator on two untouched wires only shrinks the output set, and a
+// wire relabeling maps any first layer into a sub-matching of the
+// maximal one. Second layers are then all non-empty matchings whose
+// comparators each do real work on the first layer's state, deduplicated
+// modulo the first-layer stabilizer group (pair swaps x pair
+// permutations) and - at exhaustive widths - reduced further by
+// permuted output-set subsumption. The stabilizer-canonical dedup is
+// pre-filtered by the analyzer's relabel-invariant fingerprints
+// (OrderRelation::invariant_fingerprint): unequal fingerprints prove
+// two prefixes differ modulo relabeling, so only equal-fingerprint
+// candidates pay for the exact group check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/comparator_network.hpp"
+#include "search/level_space.hpp"
+#include "search/output_set.hpp"
+
+namespace shufflebound {
+
+struct TwoLayerPrefix {
+  std::size_t second_layer_id = 0;  // matching id in LevelSpace
+  OutputSet state;                  // 0-1 state after both layers
+  /// Relabel-invariant fingerprint of the prefix's order relation.
+  std::pair<std::uint64_t, std::uint64_t> invariant_fp{0, 0};
+};
+
+struct PrefixGenReport {
+  std::size_t second_layer_candidates = 0;  // non-empty matchings tried
+  std::size_t useless_filtered = 0;  // contained a do-nothing comparator
+  std::size_t relabel_duplicates = 0;  // equal mod the stabilizer group
+  std::size_t relabel_subsumed = 0;    // permuted-subset subsumption
+  std::size_t kept = 0;
+};
+
+/// The wire relabelings that fix the maximal first layer as a set of
+/// gates: swaps within pairs and permutations of pairs (the lone wire
+/// of an odd width stays put). Identity first; deterministic order.
+std::vector<std::vector<wire_t>> first_layer_stabilizer(wire_t n);
+
+struct PrefixGenOptions {
+  /// Deduplicate second layers modulo the stabilizer group. Costs
+  /// |group| * |matchings| in the worst case - on by default up to
+  /// width 10, off above (the existence search only needs *a* witness,
+  /// and hash dedup on states already removes exact repeats).
+  bool canonicalize = true;
+  /// Drop prefixes whose state contains a stabilizer-permuted image of
+  /// another prefix's state. Quadratic in kept prefixes times |group|;
+  /// on by default at exhaustive widths (n <= 8).
+  bool relabel_subsume = true;
+};
+
+/// Defaults keyed to the width as described above.
+PrefixGenOptions default_prefix_options(wire_t n);
+
+std::vector<TwoLayerPrefix> generate_two_layer_prefixes(
+    const LevelSpace& space, const PrefixGenOptions& options,
+    PrefixGenReport* report = nullptr);
+
+/// Test/diagnostic view: the kept prefixes as two-level networks.
+std::vector<ComparatorNetwork> two_layer_prefix_networks(wire_t n);
+
+}  // namespace shufflebound

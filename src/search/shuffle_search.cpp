@@ -1,4 +1,4 @@
-#include "analysis/search.hpp"
+#include "search/shuffle_search.hpp"
 
 #include <algorithm>
 #include <bit>

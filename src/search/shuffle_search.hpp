@@ -8,6 +8,12 @@
 // every 0/1 vector to a sorted one). For n = 8 the exact search is out
 // of reach, so a beam search over the same state space hunts for good
 // upper bounds instead.
+//
+// These searchers are fixed to the paper's shuffle topology: every level
+// is the shuffle permutation followed by one {+,-,0,1} label per
+// register pair. The unconstrained depth-optimality search - any
+// matching per level, symmetry breaking, subsumption pruning - lives in
+// search/search.hpp.
 #pragma once
 
 #include <cstdint>

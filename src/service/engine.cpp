@@ -8,8 +8,10 @@
 #include "analysis/sortedness.hpp"
 #include "analyze/analyzer.hpp"
 #include "lint/linter.hpp"
+#include "core/io.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "search/search.hpp"
 #include "sim/batch.hpp"
 #include "sim/bitparallel.hpp"
 #include "sim/compiled_net.hpp"
@@ -298,6 +300,39 @@ bool revalidate_refutation(const ParsedNetwork& net,
   }
 }
 
+/// Runs the depth-optimality search for the spec's width. The search is
+/// deterministic for a fixed width/mode/cap, so the payload is cacheable
+/// like any other ok result; the cooperative deadline rides the search's
+/// per-node progress hook.
+JsonValue search_payload(const JobSpec& spec, Clock::time_point deadline) {
+  SearchOptions options;
+  if (const auto mode = parse_search_mode(spec.search_mode))
+    options.mode = *mode;
+  options.max_depth = spec.search_max_depth;
+  options.progress = [deadline] { check_deadline(deadline); };
+  const SearchResult result =
+      find_min_depth_network(static_cast<wire_t>(spec.search_width), options);
+  JsonValue out = JsonValue::object();
+  out.set("n", static_cast<std::uint64_t>(result.width));
+  out.set("status", search_status_name(result.status));
+  out.set("mode", search_mode_name(result.mode));
+  if (result.status == SearchStatus::Optimal) {
+    out.set("optimal_depth", static_cast<std::uint64_t>(result.optimal_depth));
+    out.set("lower_bound_source",
+            lower_bound_source_name(result.lower_bound_source));
+    out.set("network", to_text(result.network));
+  }
+  JsonValue stats = JsonValue::object();
+  stats.set("nodes_expanded", result.stats.nodes_expanded);
+  stats.set("children_generated", result.stats.children_generated);
+  stats.set("subsumption_hits", result.stats.subsumption_hits);
+  stats.set("dedup_hits", result.stats.dedup_hits);
+  stats.set("countdown_prunes", result.stats.countdown_prunes);
+  stats.set("prefixes", result.stats.prefixes);
+  out.set("stats", stats);
+  return out;
+}
+
 JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
                          Clock::time_point deadline) {
   JobResult result;
@@ -336,6 +371,10 @@ JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
         // (malformed networks are its whole subject). See execute().
         result.error = "internal: lint dispatched to the parsed path";
         return result;
+      case JobKind::Search:
+        // Search has no network input at all. See execute().
+        result.error = "internal: search dispatched to the parsed path";
+        return result;
       case JobKind::Invalid:
         result.error = spec.parse_error.empty() ? "invalid job"
                                                 : spec.parse_error;
@@ -358,6 +397,27 @@ JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
 /// Runs the linter on the raw network text. Succeeds when the report is
 /// clean under the spec's strictness; a dirty report still attaches the
 /// full diagnostic document to the (failed) result.
+/// Runs a search job (no network to parse). Timeouts surface through the
+/// cooperative deadline in the progress hook.
+JobResult search_result(const JobSpec& spec, Clock::time_point deadline) {
+  JobResult result;
+  result.seq = spec.seq;
+  result.id = spec.id;
+  result.kind = spec.kind;
+  try {
+    result.payload = search_payload(spec, deadline);
+    result.ok = true;
+  } catch (const JobTimeout&) {
+    result.timed_out = true;
+    result.error = "timeout";
+    result.payload = JsonValue();
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    result.payload = JsonValue();
+  }
+  return result;
+}
+
 JobResult lint_result(const JobSpec& spec) {
   JobResult result;
   result.seq = spec.seq;
@@ -394,6 +454,20 @@ CacheKey AnalysisEngine::cache_key(const JobSpec& spec,
   return key;
 }
 
+CacheKey AnalysisEngine::search_cache_key(const JobSpec& spec) {
+  // No network to fingerprint: the search parameters are the whole input.
+  CacheKey key;
+  FingerprintHasher id;
+  id.absorb(static_cast<std::uint64_t>(spec.kind));
+  id.absorb(spec.search_width);
+  id.absorb_bytes(spec.search_mode.data(), spec.search_mode.size());
+  key.network = id.finish();
+  FingerprintHasher params;
+  params.absorb(spec.search_max_depth);
+  key.params = params.finish().lo;
+  return key;
+}
+
 CacheKey AnalysisEngine::lint_cache_key(const JobSpec& spec) {
   // Lint has no parsed form to fingerprint (malformed text is its whole
   // subject), so the key hashes the raw bytes instead.
@@ -420,6 +494,7 @@ JobResult AnalysisEngine::execute(const JobSpec& spec,
     return result;
   }
   if (spec.kind == JobKind::Lint) return lint_result(spec);
+  if (spec.kind == JobKind::Search) return search_result(spec, deadline);
   try {
     const ParsedNetwork net = parse_any_network(spec.network_text);
     return execute_parsed(spec, net, deadline);
@@ -515,13 +590,14 @@ void AnalysisEngine::process(JobSpec spec) {
   Clock::duration probe_time{0};
   bool probed = false;
 
-  if (spec.kind == JobKind::Lint) {
-    // Lint runs on raw text: cache under a hash of the bytes. Only clean
-    // reports are cached (the usual ok-results-only policy); dirty specs
-    // re-lint, which is cheap.
+  if (spec.kind == JobKind::Lint || spec.kind == JobKind::Search) {
+    // Lint runs on raw text and search on bare parameters: neither has a
+    // parsed network to fingerprint, so they cache under their own keys.
+    // Only ok results are cached; a dirty lint or failed search re-runs.
     std::optional<CacheKey> key;
     if (config_.cache_enabled) {
-      key = lint_cache_key(spec);
+      key = spec.kind == JobKind::Lint ? lint_cache_key(spec)
+                                       : search_cache_key(spec);
       const auto probe_start = Clock::now();
       std::optional<JsonValue> hit;
       {

@@ -113,6 +113,10 @@ class AnalysisEngine {
   /// plus the strictness flag.
   static CacheKey lint_cache_key(const JobSpec& spec);
 
+  /// Search jobs have no network at all; their key hashes the search
+  /// parameters (width, mode, depth cap).
+  static CacheKey search_cache_key(const JobSpec& spec);
+
  private:
   void worker_loop();
   void process(JobSpec spec);

@@ -18,6 +18,7 @@ const char* job_kind_name(JobKind kind) noexcept {
     case JobKind::CountSorted: return "count-sorted";
     case JobKind::Lint: return "lint";
     case JobKind::Analyze: return "analyze";
+    case JobKind::Search: return "search";
     case JobKind::Invalid: return "invalid";
   }
   return "invalid";
@@ -61,6 +62,7 @@ std::optional<JobKind> kind_from_name(const std::string& name) {
   if (name == "count-sorted") return JobKind::CountSorted;
   if (name == "lint") return JobKind::Lint;
   if (name == "analyze") return JobKind::Analyze;
+  if (name == "search") return JobKind::Search;
   return std::nullopt;
 }
 
@@ -104,6 +106,34 @@ JobSpec job_from_json_line(const std::string& line,
 
   const JsonValue* network = doc.find("network");
   const JsonValue* network_file = doc.find("network_file");
+  if (spec.kind == JobKind::Search) {
+    // Search jobs take a width, not a network.
+    if (network != nullptr || network_file != nullptr)
+      return invalid_spec(spec.id, "search jobs take 'n', not a network");
+    const JsonValue* n = doc.find("n");
+    if (n == nullptr || !n->is_number() || n->as_uint() == 0)
+      return invalid_spec(spec.id, "search needs a positive 'n'");
+    spec.search_width = static_cast<std::uint32_t>(n->as_uint());
+    if (const JsonValue* mode = doc.find("mode")) {
+      if (!mode->is_string() ||
+          (mode->as_string() != "auto" && mode->as_string() != "exhaustive" &&
+           mode->as_string() != "existence"))
+        return invalid_spec(spec.id,
+                            "'mode' must be auto, exhaustive or existence");
+      spec.search_mode = mode->as_string();
+    }
+    if (const JsonValue* d = doc.find("max_depth")) {
+      if (!d->is_number())
+        return invalid_spec(spec.id, "'max_depth' must be a number");
+      spec.search_max_depth = static_cast<std::uint32_t>(d->as_uint());
+    }
+    if (const JsonValue* t = doc.find("timeout_ms")) {
+      if (!t->is_number())
+        return invalid_spec(spec.id, "'timeout_ms' must be a number");
+      spec.timeout_ms = t->as_uint();
+    }
+    return spec;
+  }
   if ((network != nullptr) == (network_file != nullptr))
     return invalid_spec(spec.id,
                         "exactly one of 'network' / 'network_file' required");

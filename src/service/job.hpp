@@ -9,8 +9,11 @@
 //   {"op":"info","network":"register 8\n...","timeout_ms":500}
 //   {"op":"lint","network_file":"candidate.txt","strict":true}
 //   {"op":"analyze","network_file":"net.txt"}
+//   {"op":"search","n":6,"mode":"auto","max_depth":16}
 //
-// "network" carries the text format of core/io.hpp (or the iterated-RDN
+// "search" jobs take a width instead of a network: they run the
+// depth-optimality search of search/search.hpp and return the witness
+// network inline. "network" carries the text format of core/io.hpp (or the iterated-RDN
 // format of networks/rdn_io.hpp) inline; "network_file" reads it from
 // disk at parse time. "id" is echoed into the result line (defaulting to
 // the 1-based input line number). Parsing never throws: a malformed line
@@ -41,14 +44,15 @@ enum class JobKind : std::uint8_t {
   CountSorted,
   Lint,
   Analyze,
+  Search,
   Invalid,
 };
 
 /// Number of JobKind values (telemetry array bound).
-inline constexpr std::size_t kJobKindCount = 7;
+inline constexpr std::size_t kJobKindCount = 8;
 
 /// Wire name of a job kind ("info", "certify", "refute", "count-sorted",
-/// "lint", "analyze").
+/// "lint", "analyze", "search").
 const char* job_kind_name(JobKind kind) noexcept;
 
 struct JobSpec {
@@ -60,6 +64,9 @@ struct JobSpec {
   std::uint64_t seed = 1;     // count-sorted
   std::uint32_t k = 0;        // refute chunk length; 0 = paper's lg n
   bool strict = false;        // lint: promote warnings to failures
+  std::uint32_t search_width = 0;        // search: wire count
+  std::string search_mode = "auto";      // search: auto|exhaustive|existence
+  std::uint32_t search_max_depth = 16;   // search: depth cap
   std::uint64_t timeout_ms = 0;  // 0 = engine default / unlimited
   std::string parse_error;    // Invalid only: why the line was rejected
   /// Observability only: enqueue timestamp (obs::now_us()) stamped by

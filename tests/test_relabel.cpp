@@ -5,7 +5,7 @@
 
 #include <algorithm>
 
-#include "analysis/search.hpp"
+#include "search/shuffle_search.hpp"
 #include "sim/bitparallel.hpp"
 #include "networks/batcher.hpp"
 #include "networks/shuffle.hpp"

@@ -1,6 +1,6 @@
 // Exact and heuristic search over shuffle-based networks (Knuth 5.3.4.47
 // in miniature).
-#include "analysis/search.hpp"
+#include "search/shuffle_search.hpp"
 
 #include <gtest/gtest.h>
 

@@ -30,7 +30,15 @@
 //   verify <network-file> <cert-file> re-check a certificate (either format)
 //   dot   <file>                      Graphviz rendering of a circuit
 //   compact <file>                    ASAP re-leveling to critical path
-//   search <n> <max_depth>            minimal-depth shuffle sorter search
+//   search <n> [--mode auto|exhaustive|existence] [--max-depth d]
+//          [--serial] [--workers k] [--checkpoint file] [--resume]
+//          [--pause-after-nodes c] [--shuffle [max_depth]]
+//                                     depth-optimal sorting-network search
+//                                     (docs/search.md): exhaustive for
+//                                     n <= 8, existence at the published
+//                                     optimum for n <= 12; --shuffle runs
+//                                     the paper's shuffle-topology
+//                                     searchers instead
 //   prune <file> <tests> <seed>       prune comparators vs random 0/1 tests
 //   route <n> <seed>                  Benes-route a random permutation
 //   batch [jobs.jsonl|-] [flags]      concurrent JSONL job stream through
@@ -67,7 +75,8 @@
 #include "adversary/sweep.hpp"
 #include "analysis/representative.hpp"
 #include "analyze/analyzer.hpp"
-#include "analysis/search.hpp"
+#include "search/search.hpp"
+#include "search/shuffle_search.hpp"
 #include "analysis/sortedness.hpp"
 #include "core/transform.hpp"
 #include "core/diagram.hpp"
@@ -504,7 +513,12 @@ int cmd_compact(const std::string& path) {
   return 0;
 }
 
-int cmd_search(wire_t n, std::size_t max_depth) {
+// search: depth-optimal sorting-network search (docs/search.md). The
+// default drives src/search (exhaustive for n <= 8, existence at the
+// published optimum for n <= 12); --shuffle keeps the paper's
+// shuffle-topology searchers reachable. The witness network goes to
+// stdout, everything else to stderr.
+int cmd_search_shuffle(wire_t n, std::size_t max_depth) {
   if (n == 2 || n == 4) {
     const auto result = exact_min_depth_shuffle_sorter(n, max_depth);
     if (!result) {
@@ -529,8 +543,93 @@ int cmd_search(wire_t n, std::size_t max_depth) {
     std::fputs(to_text(result->network).c_str(), stdout);
     return 0;
   }
-  std::fprintf(stderr, "search supports n = 2, 4 (exact) or 8 (beam)\n");
+  std::fprintf(stderr, "search --shuffle supports n = 2, 4 (exact) or 8 (beam)\n");
   return 2;
+}
+
+int cmd_search(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: search <n> [--mode auto|exhaustive|existence] [--max-depth d]\n"
+      "              [--serial] [--workers k] [--checkpoint file] [--resume]\n"
+      "              [--pause-after-nodes c] [--shuffle [max_depth]]\n";
+  std::optional<wire_t> n;
+  SearchOptions options;
+  bool serial = false;
+  std::size_t workers = 0;
+  bool shuffle = false;
+  std::size_t shuffle_max_depth = 8;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--mode" && has_value) {
+      const auto mode = parse_search_mode(argv[++i]);
+      if (!mode) {
+        std::fprintf(stderr, "search: unknown mode '%s'\n", argv[i]);
+        return 2;
+      }
+      options.mode = *mode;
+    } else if (arg == "--max-depth" && has_value) {
+      options.max_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--serial") {
+      serial = true;
+    } else if (arg == "--workers" && has_value) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--checkpoint" && has_value) {
+      options.checkpoint_path = argv[++i];
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--pause-after-nodes" && has_value) {
+      options.pause_after_nodes =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--shuffle") {
+      shuffle = true;
+      if (has_value && argv[i + 1][0] != '-')
+        shuffle_max_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!n.has_value() && arg[0] != '-') {
+      n = static_cast<wire_t>(std::atoi(arg.c_str()));
+    } else {
+      std::fprintf(stderr, "search: unknown flag '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+  if (!n.has_value() || *n == 0) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (shuffle) return cmd_search_shuffle(*n, shuffle_max_depth);
+
+  std::optional<ThreadPool> pool;          // nullopt = serial reference path
+  if (!serial) pool.emplace(workers);      // 0 = hardware concurrency
+  options.pool = pool ? &*pool : nullptr;
+  const SearchResult result = find_min_depth_network(*n, options);
+  std::fprintf(stderr, "# status: %s (mode %s)\n",
+               search_status_name(result.status),
+               search_mode_name(result.mode));
+  std::fprintf(
+      stderr,
+      "# nodes %llu  children %llu  subsumed %llu  deduped %llu  "
+      "countdown %llu  prefixes %llu  pruning %.3f\n",
+      static_cast<unsigned long long>(result.stats.nodes_expanded),
+      static_cast<unsigned long long>(result.stats.children_generated),
+      static_cast<unsigned long long>(result.stats.subsumption_hits),
+      static_cast<unsigned long long>(result.stats.dedup_hits),
+      static_cast<unsigned long long>(result.stats.countdown_prunes),
+      static_cast<unsigned long long>(result.stats.prefixes),
+      result.stats.pruning_ratio());
+  if (result.status == SearchStatus::Paused) {
+    std::fprintf(stderr, "# paused; resume with --checkpoint %s --resume\n",
+                 options.checkpoint_path.c_str());
+    return 3;
+  }
+  if (result.status != SearchStatus::Optimal) {
+    std::fprintf(stderr, "# no sorter within depth %zu\n", options.max_depth);
+    return 1;
+  }
+  std::fprintf(stderr, "# optimal depth: %zu (%s)\n", result.optimal_depth,
+               lower_bound_source_name(result.lower_bound_source));
+  std::fputs(to_text(result.network).c_str(), stdout);
+  return 0;
 }
 
 int cmd_prune(const std::string& path, std::size_t test_count,
@@ -884,9 +983,7 @@ int dispatch(int argc, char** argv) {
     if (cmd == "verify" && argc >= 4) return cmd_verify(argv[2], argv[3]);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
     if (cmd == "compact" && argc >= 3) return cmd_compact(argv[2]);
-    if (cmd == "search" && argc >= 4)
-      return cmd_search(static_cast<wire_t>(std::atoi(argv[2])),
-                        static_cast<std::size_t>(std::atoi(argv[3])));
+    if (cmd == "search" && argc >= 3) return cmd_search(argc - 2, argv + 2);
     if (cmd == "prune" && argc >= 5)
       return cmd_prune(argv[2], static_cast<std::size_t>(std::atoi(argv[3])),
                        static_cast<std::uint64_t>(std::atoll(argv[4])));
