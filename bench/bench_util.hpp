@@ -8,11 +8,14 @@
 //   --quick        shrink the experiment table to CI smoke size (also
 //                  enabled by SHUFFLEBOUND_BENCH_QUICK=1 in the env)
 //   --json <path>  after the run, write a machine-readable report
-//                  {"experiment","title","claim","quick","metrics"} to
-//                  <path>; metrics are the named scalars the table code
-//                  recorded via benchutil::metric(). The perf-smoke CI
-//                  job diffs these against bench/baseline.json with
-//                  tools/bench_regress.
+//                  {"experiment","title","claim","quick","cpu",
+//                  "metrics"} to <path>; metrics are the named scalars
+//                  the table code recorded via benchutil::metric(), and
+//                  "cpu" records the machine the numbers came from (the
+//                  selected kernel ISA and lane width, every available
+//                  ISA path, hardware concurrency) so archived reports
+//                  stay comparable. The perf-smoke CI job diffs these
+//                  against bench/baseline.json with tools/bench_regress.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -21,9 +24,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/json.hpp"
+#include "sim/isa.hpp"
 
 namespace shufflebound::benchutil {
 
@@ -106,6 +111,19 @@ inline int run_main(int argc, char** argv, void (*print_fn)()) {
     doc.set("title", report.title);
     doc.set("claim", report.claim);
     doc.set("quick", report.quick);
+    // Machine identity: which kernel path produced these numbers. Reports
+    // from different ISAs (or a SHUFFLEBOUND_FORCE_ISA run) must not be
+    // confused when archived side by side.
+    JsonValue cpu = JsonValue::object();
+    const simd::KernelDispatch& kernel = simd::active_kernel();
+    cpu.set("isa", kernel.name);
+    cpu.set("lane_bits", static_cast<std::uint64_t>(kernel.lane_bits));
+    JsonValue available = JsonValue::array();
+    for (const simd::Isa isa : simd::available_isas())
+      available.push_back(simd::isa_name(isa));
+    cpu.set("available", available);
+    cpu.set("hardware_concurrency", std::thread::hardware_concurrency());
+    doc.set("cpu", cpu);
     doc.set("metrics", report.metrics);
     std::ofstream out(report.json_path);
     out << doc.dump() << '\n';

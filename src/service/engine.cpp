@@ -12,9 +12,11 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "search/search.hpp"
+#include "sim/arena.hpp"
 #include "sim/batch.hpp"
 #include "sim/bitparallel.hpp"
 #include "sim/compiled_net.hpp"
+#include "sim/isa.hpp"
 #include "util/bits.hpp"
 #include "util/prng.hpp"
 
@@ -65,6 +67,26 @@ std::vector<wire_t> run_input(const ParsedNetwork& net,
   return run_input(net.circuit, input);
 }
 
+// Arena purpose salts: the compiled table depends on WHAT is compiled,
+// not just which network. Certifying a circuit compiles its redundancy-
+// eliminated form; count-sorted and witness revalidation compile the raw
+// parse (and so does certifying a register program, which skips
+// elimination) - same fingerprint, different tables, distinct arena
+// slots.
+constexpr std::uint64_t kArenaSaltPlain = 0x706C61696Eull;    // "plain"
+constexpr std::uint64_t kArenaSaltCertify = 0x6365727469ull;  // "certi"
+
+Fingerprint model_fingerprint(const ParsedNetwork& net) {
+  return net.iterated_form   ? fingerprint(*net.iterated_form)
+         : net.register_form ? fingerprint(*net.register_form)
+                             : fingerprint(net.circuit);
+}
+
+ArenaKey arena_key_of(const ParsedNetwork& net, std::uint64_t salt) {
+  const Fingerprint fp = model_fingerprint(net);
+  return ArenaKey{fp.hi, fp.lo}.derived(salt);
+}
+
 // ---------------------------------------------------------------- info --
 
 JsonValue info_payload(const ParsedNetwork& net) {
@@ -86,7 +108,8 @@ JsonValue info_payload(const ParsedNetwork& net) {
 // ------------------------------------------------------------- certify --
 
 template <typename Net>
-JsonValue certify_payload(const Net& net, Clock::time_point deadline) {
+JsonValue certify_payload(const Net& net, Clock::time_point deadline,
+                          CompilationArena& arena, const ArenaKey& key) {
   const wire_t n = net.width();
   // Hybrid certification (sim/bitparallel.hpp): frontier-friendly
   // networks certify far past the sweep's n <= 30 wall, everything else
@@ -94,8 +117,12 @@ JsonValue certify_payload(const Net& net, Clock::time_point deadline) {
   // pool: job-level parallelism lives across jobs); the progress hook
   // runs the cooperative deadline - once per frontier level, once per
   // sweep lane block - so both engines time out like strict_sweep did.
+  // The arena shares the compiled (and for circuits, redundancy-
+  // eliminated) op table across every job over the same network.
   CertifyOptions opts;
   opts.progress = [deadline] { check_deadline(deadline); };
+  opts.arena = &arena;
+  opts.arena_key = key;
   const ZeroOneReport report = zero_one_check(net, opts);
   JsonValue payload = JsonValue::object();
   if (report.sorts_all) {
@@ -167,9 +194,13 @@ JsonValue analyze_payload(const ParsedNetwork& net) {
 
 template <typename Net>
 JsonValue count_sorted_payload(const Net& net, const JobSpec& spec,
-                               Clock::time_point deadline) {
-  // One compile amortized over every trial; apply() reuses the buffers.
-  const CompiledNetwork compiled = compile(net);
+                               Clock::time_point deadline,
+                               CompilationArena& arena, const ArenaKey& key) {
+  // One compile amortized over every trial AND over every job on the
+  // same network (the arena view); apply() reuses the buffers.
+  const std::shared_ptr<const CompiledNetwork> view =
+      arena.get_or_compile(key, [&net] { return compile(net); });
+  const CompiledNetwork& compiled = *view;
   std::vector<wire_t> values;
   std::vector<wire_t> scratch;
   std::size_t sorted = 0;
@@ -252,8 +283,8 @@ JsonValue refute_payload(const ParsedNetwork& net, const JobSpec& spec,
 
 /// Rebuilds the witness from a cached refutation payload and replays it
 /// through the freshly parsed network. Anything malformed fails closed.
-bool revalidate_refutation(const ParsedNetwork& net,
-                           const JsonValue& payload) {
+bool revalidate_refutation(const ParsedNetwork& net, const JsonValue& payload,
+                           CompilationArena& arena) {
   const JsonValue* status = payload.find("status");
   if (status == nullptr || !status->is_string()) return false;
   if (status->as_string() != "refuted") return true;  // nothing to replay
@@ -289,12 +320,15 @@ bool revalidate_refutation(const ParsedNetwork& net,
       w = certificate_from_text(cert_text->as_string()).witness;
     }
     // Replay on the compiled kernel - the evaluator actually serving
-    // this engine's certify/count paths.
-    const CompiledNetwork compiled =
-        net.iterated_form   ? compile(*net.iterated_form)
-        : net.register_form ? compile(*net.register_form)
-                            : compile(net.circuit);
-    return check_witness(compiled, w).refutes_sorting();
+    // this engine's certify/count paths. Revalidation compiles the raw
+    // parse, so it shares the plain-salt arena slot with count-sorted.
+    const std::shared_ptr<const CompiledNetwork> compiled =
+        arena.get_or_compile(arena_key_of(net, kArenaSaltPlain), [&net] {
+          return net.iterated_form   ? compile(*net.iterated_form)
+                 : net.register_form ? compile(*net.register_form)
+                                     : compile(net.circuit);
+        });
+    return check_witness(*compiled, w).refutes_sorting();
   } catch (const std::exception&) {
     return false;
   }
@@ -334,7 +368,8 @@ JsonValue search_payload(const JobSpec& spec, Clock::time_point deadline) {
 }
 
 JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
-                         Clock::time_point deadline) {
+                         Clock::time_point deadline,
+                         CompilationArena& arena) {
   JobResult result;
   result.seq = spec.seq;
   result.id = spec.id;
@@ -345,24 +380,34 @@ JobResult execute_parsed(const JobSpec& spec, const ParsedNetwork& net,
         result.payload = info_payload(net);
         break;
       case JobKind::Certify:
-        result.payload = net.register_form
-                             ? certify_payload(*net.register_form, deadline)
-                             : certify_payload(net.circuit, deadline);
+        // Register certification compiles the raw program (no
+        // elimination pass), so it shares the plain-salt table with
+        // count-sorted; circuit certification compiles the eliminated
+        // form and keys under the certify salt.
+        result.payload =
+            net.register_form
+                ? certify_payload(*net.register_form, deadline, arena,
+                                  arena_key_of(net, kArenaSaltPlain))
+                : certify_payload(net.circuit, deadline, arena,
+                                  arena_key_of(net, kArenaSaltCertify));
         break;
       case JobKind::Refute:
         result.payload = refute_payload(net, spec, deadline);
         break;
-      case JobKind::CountSorted:
+      case JobKind::CountSorted: {
+        const ArenaKey key = arena_key_of(net, kArenaSaltPlain);
         if (net.iterated_form) {
-          result.payload =
-              count_sorted_payload(*net.iterated_form, spec, deadline);
+          result.payload = count_sorted_payload(*net.iterated_form, spec,
+                                                deadline, arena, key);
         } else if (net.register_form) {
-          result.payload =
-              count_sorted_payload(*net.register_form, spec, deadline);
+          result.payload = count_sorted_payload(*net.register_form, spec,
+                                                deadline, arena, key);
         } else {
-          result.payload = count_sorted_payload(net.circuit, spec, deadline);
+          result.payload =
+              count_sorted_payload(net.circuit, spec, deadline, arena, key);
         }
         break;
+      }
       case JobKind::Analyze:
         result.payload = analyze_payload(net);
         break;
@@ -497,7 +542,10 @@ JobResult AnalysisEngine::execute(const JobSpec& spec,
   if (spec.kind == JobKind::Search) return search_result(spec, deadline);
   try {
     const ParsedNetwork net = parse_any_network(spec.network_text);
-    return execute_parsed(spec, net, deadline);
+    // The isolated entry point shares the process-wide arena: results
+    // are pure functions of the spec either way, the arena only dedups
+    // the compile work.
+    return execute_parsed(spec, net, deadline, CompilationArena::global());
   } catch (const std::exception& e) {
     JobResult result;
     result.seq = spec.seq;
@@ -512,6 +560,8 @@ AnalysisEngine::AnalysisEngine(EngineConfig config, ResultSink sink)
     : config_(std::move(config)),
       sink_(std::move(sink)),
       cache_(config_.cache ? config_.cache : std::make_shared<ResultCache>()),
+      arena_(config_.arena ? config_.arena.get()
+                           : &CompilationArena::global()),
       queue_(config_.queue_capacity),
       pool_(config_.workers) {
   active_workers_ = pool_.worker_count();
@@ -652,7 +702,7 @@ void AnalysisEngine::process(JobSpec spec) {
           if (std::optional<JsonValue> hit = cache_->lookup(*key)) {
             bool valid = true;
             if (spec.kind == JobKind::Refute) {
-              valid = revalidate_refutation(*net, *hit);
+              valid = revalidate_refutation(*net, *hit, *arena_);
               telemetry_.count_witness_revalidation(valid);
               SB_OBS_COUNT("service.witness_revalidations", 1);
               if (!valid)
@@ -684,7 +734,7 @@ void AnalysisEngine::process(JobSpec spec) {
         }
         {
           SB_OBS_SPAN("service", "execute");
-          result = execute_parsed(spec, *net, deadline);
+          result = execute_parsed(spec, *net, deadline, *arena_);
         }
         if (result->ok && key) cache_->insert(*key, result->payload);
       }
@@ -730,6 +780,21 @@ JsonValue AnalysisEngine::telemetry_to_json() const {
           static_cast<std::uint64_t>(queue_.high_water()));
   out.set("queue_capacity", static_cast<std::uint64_t>(queue_.capacity()));
   out.set("workers", static_cast<std::uint64_t>(pool_.worker_count()));
+  // The compile-once tier and the kernel path serving this engine's
+  // certify/count/revalidation work - operational facts (which ISA, how
+  // much compile reuse), never part of result lines.
+  const CompilationArena::Stats arena = arena_->stats();
+  JsonValue arena_json = JsonValue::object();
+  arena_json.set("hits", arena.hits);
+  arena_json.set("misses", arena.misses);
+  arena_json.set("networks", arena.networks);
+  arena_json.set("bytes", arena.bytes);
+  out.set("arena", arena_json);
+  const simd::KernelDispatch& kernel = simd::active_kernel();
+  JsonValue kernel_json = JsonValue::object();
+  kernel_json.set("isa", kernel.name);
+  kernel_json.set("lane_bits", static_cast<std::uint64_t>(kernel.lane_bits));
+  out.set("kernel", kernel_json);
   // Obs counters/span totals ride along when tracing is on. Never part of
   // result lines, so batch output stays byte-identical either way.
   if (obs::enabled()) out.set("metrics", obs::metrics_to_json());

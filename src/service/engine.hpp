@@ -45,6 +45,8 @@
 
 namespace shufflebound {
 
+class CompilationArena;
+
 struct EngineConfig {
   std::size_t workers = 0;         // 0 = hardware concurrency
   std::size_t queue_capacity = 64;
@@ -53,6 +55,13 @@ struct EngineConfig {
   /// Share a cache across engines (warm restarts, benchmarks); null means
   /// the engine creates a private one.
   std::shared_ptr<ResultCache> cache;
+  /// Compile-once op-table arena (sim/arena.hpp) the workers share:
+  /// certify / count-sorted / witness revalidation compile each distinct
+  /// network at most once per purpose and share the sealed table. Null
+  /// means CompilationArena::global() - engines in one process pool their
+  /// compiles by default; tests inject a private arena to observe stats
+  /// in isolation.
+  std::shared_ptr<CompilationArena> arena;
 };
 
 class AnalysisEngine {
@@ -125,6 +134,7 @@ class AnalysisEngine {
   EngineConfig config_;
   ResultSink sink_;
   std::shared_ptr<ResultCache> cache_;
+  CompilationArena* arena_;  // config_.arena or the process-wide global
   Telemetry telemetry_;
   BoundedQueue<JobSpec> queue_;
   std::uint64_t next_seq_ = 0;

@@ -8,6 +8,7 @@
 
 #include "analyze/analyzer.hpp"
 #include "obs/obs.hpp"
+#include "sim/isa.hpp"
 #include "sim/simd.hpp"
 
 namespace shufflebound {
@@ -41,65 +42,41 @@ void atomic_min(std::atomic<std::uint64_t>& current, std::uint64_t candidate) {
   }
 }
 
-/// Evaluates one lane-sized block of test vectors starting at `base`
-/// (a multiple of 64) and reports the minimal failing vector in it.
-std::optional<std::uint64_t> sweep_block(const CompiledNetwork& net,
-                                         std::uint64_t base,
-                                         std::uint64_t total,
-                                         simd::Lane* words) {
-  const wire_t n = net.width();
-  for (wire_t w = 0; w < n; ++w) words[w] = simd::pattern_lane(w, base);
-  net.evaluate_packed(words);
-  // Sorted ascending means 0s then 1s: no output position may carry 1
-  // while a later position carries 0.
-  const std::span<const wire_t> order = net.output_order();
-  simd::Lane bad = simd::lane_zero();
-  for (wire_t p = 0; p + 1 < n; ++p)
-    bad = bad | (words[order[p]] & ~words[order[p + 1]]);
-  if (base + simd::kLaneBits > total)
-    bad = bad & simd::valid_mask_lane(base, total);
-  if (!simd::lane_any(bad)) return std::nullopt;
-  for (std::size_t j = 0; j < simd::kLaneWords; ++j) {
-    const std::uint64_t word = simd::lane_word(bad, j);
-    if (word != 0)
-      return base + 64 * j +
-             static_cast<std::uint64_t>(std::countr_zero(word));
-  }
-  return std::nullopt;  // unreachable: lane_any said otherwise
-}
-
 /// The wide-lane 2^n sweep (the pre-frontier zero_one_check), factored
 /// out so the dispatcher can use it as the forced engine and the hybrid
-/// fallback. `progress` (when set) runs once per lane block before its
-/// evaluation - concurrently from pool workers when a pool is set.
+/// fallback. The block kernel comes from the runtime ISA dispatch table
+/// (sim/isa.hpp): one entry per available path, every path returning
+/// the exact minimal failing vector in its block, so the atomic-min
+/// fold below makes the result independent of the selected lane width.
+/// `progress` (when set) runs once per lane block before its evaluation
+/// - concurrently from pool workers when a pool is set.
 ZeroOneReport sweep_zero_one(const CompiledNetwork& net, ThreadPool* pool,
                              const std::function<void()>& progress) {
   const wire_t n = net.width();
   if (n > kSweepWidthCap) throw_sweep_cap(n);
+  const simd::KernelDispatch& kernel = simd::active_kernel();
   SB_OBS_SPAN("kernel", "zero_one_check");
   SB_OBS_COUNT("kernel.sweeps", 1);
-  SB_OBS_GAUGE("kernel.lane_bits", simd::kLaneBits);
-  if constexpr (simd::kLaneWords == 1)
+  SB_OBS_GAUGE("kernel.lane_bits", kernel.lane_bits);
+  if (kernel.isa == simd::Isa::Scalar)
     SB_OBS_COUNT("kernel.scalar_fallback_sweeps", 1);
   const std::uint64_t total = std::uint64_t{1} << n;
-  const std::uint64_t blocks =
-      (total + simd::kLaneBits - 1) / simd::kLaneBits;
+  const std::uint64_t lane_bits = kernel.lane_bits;
+  const std::uint64_t blocks = (total + lane_bits - 1) / lane_bits;
 
   std::atomic<std::uint64_t> first_failing{UINT64_MAX};
   const auto run_block = [&](std::size_t block) {
     if (progress) progress();
-    const std::uint64_t base =
-        static_cast<std::uint64_t>(block) * simd::kLaneBits;
+    const std::uint64_t base = static_cast<std::uint64_t>(block) * lane_bits;
     // Prune blocks that cannot lower the minimum: every vector in this
     // block is >= base, so skipping preserves the exact result.
     if (base >= first_failing.load(std::memory_order_relaxed)) return;
     // Counted here, after the prune, so the counter reports vectors the
     // kernel actually evaluated (tests/test_obs.cpp pins the invariant).
     SB_OBS_COUNT("kernel.vectors_evaluated",
-                 std::min<std::uint64_t>(simd::kLaneBits, total - base));
-    simd::Lane words[32];
-    if (const auto failing = sweep_block(net, base, total, words))
-      atomic_min(first_failing, *failing);
+                 std::min<std::uint64_t>(lane_bits, total - base));
+    const std::uint64_t failing = kernel.sweep_block(net, base, total);
+    if (failing != UINT64_MAX) atomic_min(first_failing, failing);
   };
 
   if (pool != nullptr) {
@@ -282,17 +259,31 @@ ZeroOneReport zero_one_check(const ComparatorNetwork& net,
   // Redundancy elimination before compilation: pointwise output-
   // equivalent on every input (analyze/analyzer.hpp), so the verdict
   // and the minimal failing vector are unchanged while the compiled op
-  // table shrinks.
-  EliminationResult reduced = eliminate_redundant(net);
-  if (reduced.removed == 0 && reduced.exchanged == 0)
-    return zero_one_check(compile(net), opts);
-  SB_OBS_COUNT("kernel.redundant_ops_removed", reduced.removed);
-  SB_OBS_COUNT("kernel.always_exchange_rewrites", reduced.exchanged);
-  return zero_one_check(compile(reduced.net), opts);
+  // table shrinks. Both steps live inside the compile closure so an
+  // arena hit skips them entirely.
+  const auto compile_reduced = [&net]() -> CompiledNetwork {
+    EliminationResult reduced = eliminate_redundant(net);
+    if (reduced.removed == 0 && reduced.exchanged == 0) return compile(net);
+    SB_OBS_COUNT("kernel.redundant_ops_removed", reduced.removed);
+    SB_OBS_COUNT("kernel.always_exchange_rewrites", reduced.exchanged);
+    return compile(reduced.net);
+  };
+  if (opts.arena != nullptr && opts.arena_key) {
+    const std::shared_ptr<const CompiledNetwork> view =
+        opts.arena->get_or_compile(*opts.arena_key, compile_reduced);
+    return zero_one_check(*view, opts);
+  }
+  return zero_one_check(compile_reduced(), opts);
 }
 
 ZeroOneReport zero_one_check(const RegisterNetwork& net,
                              const CertifyOptions& opts) {
+  if (opts.arena != nullptr && opts.arena_key) {
+    const std::shared_ptr<const CompiledNetwork> view =
+        opts.arena->get_or_compile(*opts.arena_key,
+                                   [&net] { return compile(net); });
+    return zero_one_check(*view, opts);
+  }
   return zero_one_check(compile(net), opts);
 }
 

@@ -30,6 +30,7 @@
 #include "core/bitparallel.hpp"
 #include "core/comparator_network.hpp"
 #include "core/register_network.hpp"
+#include "sim/arena.hpp"
 #include "sim/compiled_net.hpp"
 #include "sim/frontier.hpp"
 #include "util/thread_pool.hpp"
@@ -93,6 +94,15 @@ struct CertifyOptions {
   /// it once per level, the sweep once per lane block (concurrently from
   /// pool workers when a pool is set). Exceptions propagate.
   std::function<void()> progress;
+  /// Compile-once arena (sim/arena.hpp): when both fields are set, the
+  /// network overloads fetch the compiled op table (for circuits, the
+  /// redundancy-eliminated one) from the arena instead of compiling per
+  /// call - an arena hit skips elimination AND compilation. The key must
+  /// uniquely identify the compiled form (the service salts its network
+  /// fingerprints by purpose). Both null by default: standalone callers
+  /// keep the compile-per-call behavior.
+  CompilationArena* arena = nullptr;
+  std::optional<ArenaKey> arena_key;
 };
 
 /// Exhaustively checks all 2^n 0/1 vectors (n <= kSweepWidthCap

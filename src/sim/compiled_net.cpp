@@ -11,8 +11,9 @@ namespace shufflebound {
 void CompiledNetwork::reorder(std::vector<wire_t>& values,
                               std::vector<wire_t>& scratch) const {
   scratch.resize(values.size());
-  for (std::size_t p = 0; p < output_order_.size(); ++p)
-    scratch[p] = values[output_order_[p]];
+  const std::span<const wire_t> order = output_order();
+  for (std::size_t p = 0; p < order.size(); ++p)
+    scratch[p] = values[order[p]];
   values.swap(scratch);
 }
 
@@ -20,10 +21,10 @@ void CompiledNetwork::apply(std::vector<wire_t>& values,
                             std::vector<wire_t>& scratch) const {
   if (values.size() != width_)
     throw std::invalid_argument("CompiledNetwork::apply: width mismatch");
-  const std::uint32_t* mins = min_slot_.data();
-  const std::uint32_t* maxs = max_slot_.data();
+  const std::uint32_t* mins = table_.data();
+  const std::uint32_t* maxs = table_.data() + op_count_;
   wire_t* v = values.data();
-  const std::size_t ops = min_slot_.size();
+  const std::size_t ops = op_count_;
   for (std::size_t i = 0; i < ops; ++i) {
     const wire_t a = v[mins[i]];
     const wire_t b = v[maxs[i]];
@@ -40,17 +41,15 @@ void CompiledNetwork::apply(std::vector<wire_t>& values,
 /// permutation steps only permute slot_of.
 class NetworkCompiler {
  public:
-  explicit NetworkCompiler(wire_t width) : slot_of_(width) {
-    out_.width_ = width;
+  explicit NetworkCompiler(wire_t width) : width_(width), slot_of_(width) {
     std::iota(slot_of_.begin(), slot_of_.end(), 0u);
-    out_.level_offsets_.push_back(0);
+    level_offsets_.push_back(0);
   }
 
   void begin_level() {}
 
   void end_level() {
-    out_.level_offsets_.push_back(
-        static_cast<std::uint32_t>(out_.min_slot_.size()));
+    level_offsets_.push_back(static_cast<std::uint32_t>(min_slot_.size()));
   }
 
   /// A gate of the current level acting on source lines (a, b) - for a
@@ -81,20 +80,39 @@ class NetworkCompiler {
     slot_of_.swap(next);
   }
 
+  /// Seals the assembled sections into the compiled form's single
+  /// contiguous table: [min | max | level_offsets | output_order |
+  /// op_level], matching the offsets CompiledNetwork's accessors use.
   CompiledNetwork finish() {
-    out_.output_order_.assign(slot_of_.begin(), slot_of_.end());
-    return std::move(out_);
+    CompiledNetwork out;
+    out.width_ = width_;
+    out.op_count_ = static_cast<std::uint32_t>(min_slot_.size());
+    out.level_entry_count_ =
+        static_cast<std::uint32_t>(level_offsets_.size());
+    out.table_.reserve(2 * min_slot_.size() + level_offsets_.size() +
+                       slot_of_.size() + op_level_.size());
+    out.table_.insert(out.table_.end(), min_slot_.begin(), min_slot_.end());
+    out.table_.insert(out.table_.end(), max_slot_.begin(), max_slot_.end());
+    out.table_.insert(out.table_.end(), level_offsets_.begin(),
+                      level_offsets_.end());
+    out.table_.insert(out.table_.end(), slot_of_.begin(), slot_of_.end());
+    out.table_.insert(out.table_.end(), op_level_.begin(), op_level_.end());
+    return out;
   }
 
  private:
   void emit(std::uint32_t min_slot, std::uint32_t max_slot) {
-    out_.min_slot_.push_back(min_slot);
-    out_.max_slot_.push_back(max_slot);
-    out_.op_level_.push_back(
-        static_cast<std::uint32_t>(out_.level_offsets_.size() - 1));
+    min_slot_.push_back(min_slot);
+    max_slot_.push_back(max_slot);
+    op_level_.push_back(
+        static_cast<std::uint32_t>(level_offsets_.size() - 1));
   }
 
-  CompiledNetwork out_;
+  wire_t width_;
+  std::vector<std::uint32_t> min_slot_;
+  std::vector<std::uint32_t> max_slot_;
+  std::vector<std::uint32_t> op_level_;
+  std::vector<std::uint32_t> level_offsets_;
   std::vector<std::uint32_t> slot_of_;
 };
 

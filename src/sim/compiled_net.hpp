@@ -23,6 +23,11 @@
 //  * Ops are stored as parallel arrays (min_slot[], max_slot[]) grouped
 //    by level (level_offsets), shared read-only across any number of
 //    concurrent evaluations.
+//  * The whole compiled form - op arrays, level offsets, output order -
+//    is SEALED into one contiguous uint32 block at compile() time, so a
+//    sweep touches a single allocation laid out in evaluation order and
+//    the arena (sim/arena.hpp) can batch many networks into dense,
+//    accurately-accounted storage (bytes()).
 //
 // Determinism contract: a compiled network is a pure function of the
 // source network; evaluation touches no global state, so all engine
@@ -49,29 +54,34 @@ class CompiledNetwork {
 
   wire_t width() const noexcept { return width_; }
   /// Comparator ops in the compiled program (exchanges are elided).
-  std::size_t op_count() const noexcept { return min_slot_.size(); }
+  std::size_t op_count() const noexcept { return op_count_; }
   /// Source levels/steps (including empty ones), for stats and replay.
   std::size_t level_count() const noexcept {
-    return level_offsets_.empty() ? 0 : level_offsets_.size() - 1;
+    return level_entry_count_ == 0 ? 0 : level_entry_count_ - 1;
+  }
+  /// Heap footprint of the sealed table - what the arena accounts under
+  /// arena.bytes.
+  std::size_t bytes() const noexcept {
+    return table_.size() * sizeof(std::uint32_t);
   }
   /// output_order()[p] = slot holding output position p (wire p in the
   /// circuit model, register p in the register model, final slot p for
   /// an iterated RDN).
   std::span<const wire_t> output_order() const noexcept {
-    return output_order_;
+    return section(2 * std::size_t{op_count_} + level_entry_count_, width_);
   }
   /// Raw op table, for engines that walk ops level by level (the
   /// frontier certifier): op i takes min into min_slots()[i] and max
   /// into max_slots()[i]; level l owns ops [level_offsets()[l],
   /// level_offsets()[l+1]). Empty networks have an empty offsets span.
   std::span<const std::uint32_t> min_slots() const noexcept {
-    return min_slot_;
+    return section(0, op_count_);
   }
   std::span<const std::uint32_t> max_slots() const noexcept {
-    return max_slot_;
+    return section(op_count_, op_count_);
   }
   std::span<const std::uint32_t> level_offsets() const noexcept {
-    return level_offsets_;
+    return section(2 * std::size_t{op_count_}, level_entry_count_);
   }
 
   /// Packed 0/1 kernel: words[slot] holds one packed bit per test
@@ -81,9 +91,9 @@ class CompiledNetwork {
   /// them through output_order()).
   template <typename W>
   void evaluate_packed(W* words) const {
-    const std::uint32_t* mins = min_slot_.data();
-    const std::uint32_t* maxs = max_slot_.data();
-    const std::size_t ops = min_slot_.size();
+    const std::uint32_t* mins = table_.data();
+    const std::uint32_t* maxs = table_.data() + op_count_;
+    const std::size_t ops = op_count_;
     for (std::size_t i = 0; i < ops; ++i) {
       const W a = words[mins[i]];
       const W b = words[maxs[i]];
@@ -114,16 +124,30 @@ class CompiledNetwork {
   }
 
  private:
+  /// op_levels()[i] = source level/step of op i (cold section; only the
+  /// observed replay reads it).
+  std::span<const std::uint32_t> op_levels() const noexcept {
+    return section(2 * std::size_t{op_count_} + level_entry_count_ + width_,
+                   op_count_);
+  }
+
+  std::span<const std::uint32_t> section(std::size_t offset,
+                                         std::size_t count) const noexcept {
+    return {table_.data() + offset, count};
+  }
+
   template <typename Observer>
   void run_ops_observed(std::vector<wire_t>& values,
                         Observer&& observer) const {
-    for (std::size_t i = 0; i < min_slot_.size(); ++i) {
-      const std::uint32_t mn = min_slot_[i];
-      const std::uint32_t mx = max_slot_[i];
+    const std::span<const std::uint32_t> mins = min_slots();
+    const std::span<const std::uint32_t> maxs = max_slots();
+    const std::span<const std::uint32_t> levels = op_levels();
+    for (std::size_t i = 0; i < op_count_; ++i) {
+      const std::uint32_t mn = mins[i];
+      const std::uint32_t mx = maxs[i];
       const wire_t a = values[mn];
       const wire_t b = values[mx];
-      observer.on_compare(op_level_[i], Gate(mn, mx, GateOp::CompareAsc), a,
-                          b);
+      observer.on_compare(levels[i], Gate(mn, mx, GateOp::CompareAsc), a, b);
       values[mn] = a < b ? a : b;
       values[mx] = a < b ? b : a;
     }
@@ -135,11 +159,13 @@ class CompiledNetwork {
   friend class NetworkCompiler;
 
   wire_t width_ = 0;
-  std::vector<std::uint32_t> min_slot_;       // op i: slot receiving min
-  std::vector<std::uint32_t> max_slot_;       // op i: slot receiving max
-  std::vector<std::uint32_t> op_level_;       // op i: source level/step
-  std::vector<std::uint32_t> level_offsets_;  // ops of level l: [l, l+1)
-  std::vector<wire_t> output_order_;
+  std::uint32_t op_count_ = 0;
+  std::uint32_t level_entry_count_ = 0;  // level_count() + 1; 0 when empty
+  /// The sealed table: one allocation holding, in order, the hot
+  /// sections the packed kernel walks (min slots, max slots), the
+  /// level/order sections engines index (level offsets, output order),
+  /// and the cold per-op level tags for observed replay.
+  std::vector<std::uint32_t> table_;
 };
 
 /// Compiles a circuit network. Output order is wire order (non-identity

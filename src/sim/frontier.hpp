@@ -24,9 +24,26 @@
 //    BEFORE allocation) only when a comparator spans them.
 //  * Level-synchronous dedup. After each level's ops are applied to a
 //    component, its states are sorted and deduplicated, so the set
-//    never carries a state twice. Large components shard the sort over
-//    ThreadPool::parallel_for (range partition by leading state bits,
-//    so concatenating sorted shards is globally sorted).
+//    never carries a state twice. Large components radix-bucket by the
+//    leading state bits first - a prefix split of the very order being
+//    sorted, so concatenating sorted buckets is globally sorted - and
+//    the per-bucket sorts run serially or over ThreadPool::parallel_for
+//    with bitwise-identical results. The bucket count is sized from the
+//    detected core topology (SHUFFLEBOUND_DEDUP_SHARDS overrides it),
+//    not a hard-coded constant.
+//
+// Memory layout (the part that sets the certifiable-n ceiling): a state
+// that is SORTED along its component's output order is a fixed point of
+// every order-ascending comparator - exactly the ops structured sorters
+// apply - and a component has at most k+1 such states, one per 0/1
+// weight. With FrontierOptions::collapse_sorted (the default) those
+// fixed points leave the entry vectors and live in per-weight min-input
+// buckets (8 bytes each), rematerializing only if a later op could
+// disturb them (an order-descending comparator on the component). The
+// final full-product check streams the cross product combination by
+// combination instead of materializing it. Both cut peak resident
+// entries (FrontierReport::peak_entries) without changing any verdict
+// or witness bit.
 //
 // Witness determinism: every entry carries the MINIMAL input vector
 // reaching its state. Dedup keeps the minimum over merged entries, and
@@ -71,6 +88,10 @@ struct FrontierOptions {
   /// Invoked once per level (and once before the final check) - the
   /// hook cooperative deadlines use; exceptions propagate to the caller.
   std::function<void()> progress;
+  /// Collapse sorted fixed-point states into per-weight min-input
+  /// buckets (see the header comment). Off reproduces the flat layout -
+  /// the differential suites and the E23 layout ablation use both.
+  bool collapse_sorted = true;
 };
 
 struct FrontierReport {
@@ -80,8 +101,19 @@ struct FrontierReport {
   bool sorts_all = false;
   /// Minimal failing 0-1 input vector, identical to the sweep's.
   std::optional<std::uint64_t> failing_vector;
-  /// Peak of the summed live-component sizes after any level.
+  /// Peak of the summed live-component STATE counts (materialized
+  /// entries + settled per-weight buckets) after any level, and of the
+  /// predicted final-product size - how many states the engine had to
+  /// account for at once.
   std::uint64_t peak_states = 0;
+  /// Peak of materialized 16-byte Entry records resident at once - the
+  /// memory-pressure metric the collapsed layout lowers (E23 gates the
+  /// reduction). Equal to the per-level part of peak_states when
+  /// collapse_sorted is off; the streamed final product is never
+  /// materialized in either mode.
+  std::uint64_t peak_entries = 0;
+  /// Peak count of states held in settled per-weight buckets.
+  std::uint64_t settled_peak = 0;
   /// Entries written across all levels (merge products + op passes).
   std::uint64_t states_expanded = 0;
   /// Entries removed by per-level dedup (the collapse the engine rides).

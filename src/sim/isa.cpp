@@ -1,0 +1,281 @@
+#include "sim/isa.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "sim/bitparallel.hpp"
+#include "sim/compiled_net.hpp"
+#include "sim/simd.hpp"
+
+namespace shufflebound::simd {
+
+namespace {
+
+#if defined(SHUFFLEBOUND_SIMD_WIDE) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define SHUFFLEBOUND_ISA_X86 1
+#endif
+#if defined(SHUFFLEBOUND_SIMD_WIDE) && defined(__aarch64__)
+#define SHUFFLEBOUND_ISA_NEON 1
+#endif
+
+#ifdef SHUFFLEBOUND_SIMD_WIDE
+typedef std::uint64_t Lane128 __attribute__((vector_size(16)));
+typedef std::uint64_t Lane256 __attribute__((vector_size(32)));
+typedef std::uint64_t Lane512 __attribute__((vector_size(64)));
+#endif
+
+template <typename Lane, std::size_t Words>
+__attribute__((always_inline)) inline void set_word(Lane& lane, std::size_t j,
+                                                    std::uint64_t word) {
+  if constexpr (Words == 1)
+    lane = word;
+  else
+    lane[static_cast<int>(j)] = word;
+}
+
+template <typename Lane, std::size_t Words>
+__attribute__((always_inline)) inline std::uint64_t get_word(const Lane& lane,
+                                                             std::size_t j) {
+  if constexpr (Words == 1)
+    return lane;
+  else
+    return lane[static_cast<int>(j)];
+}
+
+/// The one sweep-block body every path shares, written against an
+/// abstract lane type and forced inline so each per-ISA wrapper below
+/// gets its own copy compiled under that wrapper's target attribute
+/// (vector ops lower to the wrapper's ISA, not the translation unit's
+/// baseline). The body is self-contained - the comparator loop is
+/// inlined rather than calling CompiledNetwork::evaluate_packed - so no
+/// vector code can escape into a shared default-target instantiation.
+///
+/// Result contract (shared with the pre-dispatch kernel and pinned by
+/// tests/test_dispatch.cpp): the exact minimal failing vector in
+/// [base, min(base + Words*64, total)), or UINT64_MAX.
+template <typename Lane, std::size_t Words>
+__attribute__((always_inline)) inline std::uint64_t sweep_block_impl(
+    const CompiledNetwork& net, std::uint64_t base, std::uint64_t total) {
+  const wire_t n = net.width();
+  Lane words[kSweepWidthCap + 2];
+  for (wire_t w = 0; w < n; ++w) {
+    Lane lane;
+    for (std::size_t j = 0; j < Words; ++j)
+      set_word<Lane, Words>(lane, j, pattern_word(w, base + 64 * j));
+    words[w] = lane;
+  }
+  {
+    const std::uint32_t* mins = net.min_slots().data();
+    const std::uint32_t* maxs = net.max_slots().data();
+    const std::size_t ops = net.min_slots().size();
+    for (std::size_t i = 0; i < ops; ++i) {
+      const Lane a = words[mins[i]];
+      const Lane b = words[maxs[i]];
+      words[mins[i]] = a & b;
+      words[maxs[i]] = a | b;
+    }
+  }
+  // Sorted ascending means 0s then 1s: no output position may carry 1
+  // while a later position carries 0.
+  const std::span<const wire_t> order = net.output_order();
+  Lane bad;
+  for (std::size_t j = 0; j < Words; ++j) set_word<Lane, Words>(bad, j, 0);
+  for (wire_t p = 0; p + 1 < n; ++p)
+    bad = bad | (words[order[p]] & ~words[order[p + 1]]);
+  if (base + Words * 64 > total) {
+    Lane valid;
+    for (std::size_t j = 0; j < Words; ++j)
+      set_word<Lane, Words>(valid, j, valid_mask(base + 64 * j, total));
+    bad = bad & valid;
+  }
+  for (std::size_t j = 0; j < Words; ++j) {
+    const std::uint64_t word = get_word<Lane, Words>(bad, j);
+    if (word != 0)
+      return base + 64 * j +
+             static_cast<std::uint64_t>(std::countr_zero(word));
+  }
+  return UINT64_MAX;
+}
+
+std::uint64_t sweep_block_scalar(const CompiledNetwork& net,
+                                 std::uint64_t base, std::uint64_t total) {
+  return sweep_block_impl<std::uint64_t, 1>(net, base, total);
+}
+
+#ifdef SHUFFLEBOUND_SIMD_WIDE
+std::uint64_t sweep_block_generic(const CompiledNetwork& net,
+                                  std::uint64_t base, std::uint64_t total) {
+  return sweep_block_impl<Lane256, 4>(net, base, total);
+}
+#endif
+
+#ifdef SHUFFLEBOUND_ISA_NEON
+std::uint64_t sweep_block_neon(const CompiledNetwork& net, std::uint64_t base,
+                               std::uint64_t total) {
+  return sweep_block_impl<Lane128, 2>(net, base, total);
+}
+#endif
+
+#ifdef SHUFFLEBOUND_ISA_X86
+__attribute__((target("avx2"))) std::uint64_t sweep_block_avx2(
+    const CompiledNetwork& net, std::uint64_t base, std::uint64_t total) {
+  return sweep_block_impl<Lane256, 4>(net, base, total);
+}
+
+__attribute__((target("avx512f"))) std::uint64_t sweep_block_avx512(
+    const CompiledNetwork& net, std::uint64_t base, std::uint64_t total) {
+  return sweep_block_impl<Lane512, 8>(net, base, total);
+}
+#endif
+
+constexpr KernelDispatch kScalarKernel{Isa::Scalar, "scalar", 64,
+                                       &sweep_block_scalar};
+#ifdef SHUFFLEBOUND_SIMD_WIDE
+constexpr KernelDispatch kGenericKernel{Isa::Generic, "generic", 256,
+                                        &sweep_block_generic};
+#endif
+#ifdef SHUFFLEBOUND_ISA_NEON
+constexpr KernelDispatch kNeonKernel{Isa::Neon, "neon", 128,
+                                     &sweep_block_neon};
+#endif
+#ifdef SHUFFLEBOUND_ISA_X86
+constexpr KernelDispatch kAvx2Kernel{Isa::Avx2, "avx2", 256,
+                                     &sweep_block_avx2};
+constexpr KernelDispatch kAvx512Kernel{Isa::Avx512, "avx512", 512,
+                                       &sweep_block_avx512};
+#endif
+
+const KernelDispatch* find_kernel(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar:
+      return &kScalarKernel;
+    case Isa::Generic:
+#ifdef SHUFFLEBOUND_SIMD_WIDE
+      return &kGenericKernel;
+#else
+      return nullptr;
+#endif
+    case Isa::Neon:
+#ifdef SHUFFLEBOUND_ISA_NEON
+      return &kNeonKernel;
+#else
+      return nullptr;
+#endif
+    case Isa::Avx2:
+#ifdef SHUFFLEBOUND_ISA_X86
+      return __builtin_cpu_supports("avx2") ? &kAvx2Kernel : nullptr;
+#else
+      return nullptr;
+#endif
+    case Isa::Avx512:
+#ifdef SHUFFLEBOUND_ISA_X86
+      return __builtin_cpu_supports("avx512f") ? &kAvx512Kernel : nullptr;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::string available_names() {
+  std::string out;
+  for (const Isa isa : available_isas()) {
+    if (!out.empty()) out += "|";
+    out += isa_name(isa);
+  }
+  return out;
+}
+
+/// Installed by force_isa(); checked before the cached env selection so
+/// tests can steer dispatch even when the environment names a path.
+std::atomic<const KernelDispatch*> g_forced{nullptr};
+
+const KernelDispatch& select_default() {
+  if (const char* env = std::getenv("SHUFFLEBOUND_FORCE_ISA");
+      env != nullptr && *env != '\0') {
+    const std::optional<Isa> isa = parse_isa(env);
+    if (!isa.has_value())
+      throw std::runtime_error(
+          std::string("SHUFFLEBOUND_FORCE_ISA: unknown ISA \"") + env +
+          "\" (available on this build/CPU: " + available_names() + ")");
+    const KernelDispatch* kernel = find_kernel(*isa);
+    if (kernel == nullptr)
+      throw std::runtime_error(
+          std::string("SHUFFLEBOUND_FORCE_ISA: ISA \"") + env +
+          "\" is not available on this build/CPU (available: " +
+          available_names() + ")");
+    return *kernel;
+  }
+  // Widest first; scalar is always present.
+  for (const Isa isa :
+       {Isa::Avx512, Isa::Avx2, Isa::Neon, Isa::Generic}) {
+    if (const KernelDispatch* kernel = find_kernel(isa)) return *kernel;
+  }
+  return kScalarKernel;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Generic: return "generic";
+    case Isa::Neon: return "neon";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<Isa> parse_isa(std::string_view name) noexcept {
+  if (name == "scalar") return Isa::Scalar;
+  if (name == "generic") return Isa::Generic;
+  if (name == "neon") return Isa::Neon;
+  if (name == "avx2") return Isa::Avx2;
+  if (name == "avx512") return Isa::Avx512;
+  return std::nullopt;
+}
+
+bool isa_available(Isa isa) noexcept { return find_kernel(isa) != nullptr; }
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa :
+       {Isa::Scalar, Isa::Generic, Isa::Neon, Isa::Avx2, Isa::Avx512}) {
+    if (isa_available(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+const KernelDispatch& kernel_for(Isa isa) {
+  if (const KernelDispatch* kernel = find_kernel(isa)) return *kernel;
+  throw std::invalid_argument(
+      std::string("kernel_for: ISA \"") + isa_name(isa) +
+      "\" is not available on this build/CPU (available: " +
+      available_names() + ")");
+}
+
+const KernelDispatch& active_kernel() {
+  if (const KernelDispatch* forced =
+          g_forced.load(std::memory_order_acquire)) {
+    return *forced;
+  }
+  // Magic static: the (possibly throwing) environment lookup runs once;
+  // a throw propagates to the caller and the lookup retries next call.
+  static const KernelDispatch& selected = select_default();
+  return selected;
+}
+
+void force_isa(std::optional<Isa> isa) {
+  if (!isa.has_value()) {
+    g_forced.store(nullptr, std::memory_order_release);
+    return;
+  }
+  g_forced.store(&kernel_for(*isa), std::memory_order_release);
+}
+
+}  // namespace shufflebound::simd

@@ -24,6 +24,7 @@
 #include "service/json.hpp"
 #include "sim/bitparallel.hpp"
 #include "sim/batch.hpp"
+#include "sim/isa.hpp"
 #include "sim/simd.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
@@ -243,9 +244,11 @@ TEST_F(ObsTest, VectorsEvaluatedCountsOnlyEvaluatedBlocks) {
   const std::uint64_t evaluated =
       obs::counter("kernel.vectors_evaluated").value();
   // The serial sweep scans blocks in ascending order and stops at the
-  // block holding the minimal failing vector.
+  // block holding the minimal failing vector. Block size is the active
+  // dispatch path's lane width, not the compile-time simd::kLaneBits.
+  const std::uint64_t lane_bits = simd::active_kernel().lane_bits;
   EXPECT_EQ(evaluated,
-            (*failed.failing_vector / simd::kLaneBits + 1) * simd::kLaneBits);
+            (*failed.failing_vector / lane_bits + 1) * lane_bits);
   EXPECT_LT(evaluated, std::uint64_t{1} << 16);
 }
 

@@ -7,8 +7,13 @@
 //   bench_regress --baseline bench/baseline.json BENCH_E10.json ...
 //
 // Baseline format: one object per experiment id, mapping metric name to
-// its floor value. All metrics are higher-is-better by convention; a
-// report value below floor * (1 - tolerance) is a regression, and a
+// its floor - either a bare number, or {"floor": <number>, "unit":
+// "<string>"} when the metric has a unit worth printing ("Mvec/s", "x",
+// "jobs/s"); both forms gate identically, and the unit rides along in
+// the ok lines and the delta summary so a regression reads as a
+// quantity, not a bare number. All metrics are higher-is-better by
+// convention; a report value below floor * (1 - tolerance) is a
+// regression, and a
 // baseline metric missing from the report fails too (a silently dropped
 // metric must not pass the gate) - UNLESS the report carries
 // "quick":true, in which case the missing metric only warns: quick runs
@@ -66,7 +71,24 @@ GateResult check_report(const JsonValue& baseline, const JsonValue& report,
   const bool quick_run = quick != nullptr && quick->is_bool() &&
                          quick->as_bool();
   for (const auto& [name, floor] : floors->members()) {
-    if (!floor.is_number()) {
+    // Bare-number and {"floor", "unit"} baseline entries gate the same
+    // way; the unit only decorates the output.
+    double floor_value = 0.0;
+    std::string unit;
+    if (floor.is_number()) {
+      floor_value = floor.as_double();
+    } else if (floor.is_object()) {
+      const JsonValue* nested = floor.find("floor");
+      if (nested == nullptr || !nested->is_number()) {
+        result.failures.push_back(label + ": baseline metric " + name +
+                                  " has no numeric \"floor\"");
+        continue;
+      }
+      floor_value = nested->as_double();
+      if (const JsonValue* u = floor.find("unit");
+          u != nullptr && u->is_string() && !u->as_string().empty())
+        unit = " " + u->as_string();
+    } else {
       result.failures.push_back(label + ": baseline metric " + name +
                                 " is not a number");
       continue;
@@ -78,36 +100,38 @@ GateResult check_report(const JsonValue& baseline, const JsonValue& report,
         // Quick runs skip full-mode-only sections; the nightly full run
         // still gates this floor.
         std::printf("%s: WARN metric %s absent from quick-mode report "
-                    "(floor %g not gated)\n",
-                    label.c_str(), name.c_str(), floor.as_double());
+                    "(floor %g%s not gated)\n",
+                    label.c_str(), name.c_str(), floor_value, unit.c_str());
         continue;
       }
       result.failures.push_back(label + ": metric " + name +
                                 " missing from report");
       std::ostringstream delta;
-      delta << key << " missing (floor " << floor.as_double() << ", report "
+      delta << key << " missing (floor " << floor_value << unit << ", report "
             << label << ")";
       result.deltas.push_back(delta.str());
       continue;
     }
     ++result.checked;
-    const double gate = floor.as_double() * (1.0 - tolerance);
+    const double gate = floor_value * (1.0 - tolerance);
     if (value->as_double() < gate) {
       std::ostringstream msg;
       msg << label << ": " << name << " regressed: " << value->as_double()
-          << " < " << gate << " (floor " << floor.as_double()
-          << ", tolerance " << tolerance << ")";
+          << unit << " < " << gate << unit << " (floor " << floor_value
+          << unit << ", tolerance " << tolerance << ")";
       result.failures.push_back(msg.str());
       std::ostringstream delta;
       delta.precision(1);
       delta << key << " " << std::fixed
-            << (value->as_double() / floor.as_double() - 1.0) * 100.0
-            << "% (value " << std::defaultfloat << value->as_double()
-            << ", floor " << floor.as_double() << ", report " << label << ")";
+            << (value->as_double() / floor_value - 1.0) * 100.0
+            << "% (value " << std::defaultfloat << value->as_double() << unit
+            << ", floor " << floor_value << unit << ", report " << label
+            << ")";
       result.deltas.push_back(delta.str());
     } else {
-      std::printf("%s: %s = %g (floor %g) ok\n", label.c_str(), name.c_str(),
-                  value->as_double(), floor.as_double());
+      std::printf("%s: %s = %g%s (floor %g%s) ok\n", label.c_str(),
+                  name.c_str(), value->as_double(), unit.c_str(), floor_value,
+                  unit.c_str());
     }
   }
   return result;
@@ -170,6 +194,27 @@ int self_test() {
       "self-test", 0.30);
   expect(r.failures.size() == 1,
          "quick-mode report must still gate present metrics");
+
+  // Unit-annotated baseline entries gate like bare numbers and carry
+  // the unit into the delta summary; a unit object without a numeric
+  // floor fails.
+  const JsonValue unit_baseline = JsonValue::parse(
+      R"({"E99":{"rate":{"floor":100.0,"unit":"Mvec/s"},)"
+      R"("speedup":{"floor":2.0,"unit":"x"}}})");
+  r = check_report(unit_baseline, report(R"({"rate":100,"speedup":2})"),
+                   "self-test", 0.30);
+  expect(r.failures.empty() && r.checked == 2,
+         "unit-form baseline must gate like bare numbers");
+  r = check_report(unit_baseline, report(R"({"rate":69,"speedup":2})"),
+                   "self-test", 0.30);
+  expect(r.failures.size() == 1 && r.deltas.size() == 1 &&
+             r.deltas[0].find("E99.rate") != std::string::npos &&
+             r.deltas[0].find("Mvec/s") != std::string::npos,
+         "unit-form regression delta must carry the unit");
+  r = check_report(JsonValue::parse(R"({"E99":{"rate":{"unit":"x"}}})"),
+                   report(R"({"rate":100})"), "self-test", 0.30);
+  expect(r.failures.size() == 1,
+         "unit object without a numeric floor must fail");
 
   // Extra report metrics are informational; unknown experiment skips.
   r = check_report(baseline, report(R"({"rate":100,"speedup":2,"new":1})"),

@@ -47,11 +47,25 @@ grep -q '"draining":true' smoke_out.jsonl
 
 # Warm restart on the same cache directory: the memory tier is cold, so
 # the repeated certify/lint fingerprints must come off the disk log.
+# The jobs and the stats/shutdown pair go over SEPARATE connections:
+# stats is answered inline by the reader thread, so a stats request
+# pipelined behind the jobs would race their completion and could
+# snapshot disk_hits before the cache was probed. Once the first
+# connect has returned, both jobs have completed.
+{
+  printf '{"id":"a","op":"certify","network_file":"smoke_b8.txt"}\n'
+  printf '{"id":"b","op":"lint","network_file":"smoke_b8.txt"}\n'
+} > smoke_jobs_work.jsonl
+{
+  printf '{"id":"c","op":"stats"}\n'
+  printf '{"id":"d","op":"shutdown"}\n'
+} > smoke_jobs_ctl.jsonl
 "$CLI" serve --port 0 --port-file smoke_port2.txt --cache-dir smoke_cache \
   --workers 2 &
 SERVER=$!
 wait_for_port smoke_port2.txt
-"$CLI" connect --port "$(cat smoke_port2.txt)" smoke_jobs.jsonl > smoke_out2.jsonl
+"$CLI" connect --port "$(cat smoke_port2.txt)" smoke_jobs_work.jsonl > smoke_out2.jsonl
+"$CLI" connect --port "$(cat smoke_port2.txt)" smoke_jobs_ctl.jsonl >> smoke_out2.jsonl
 SRC=0
 wait $SERVER || SRC=$?
 test "$SRC" -eq 0

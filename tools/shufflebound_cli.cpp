@@ -93,7 +93,9 @@
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "service/engine.hpp"
+#include "sim/arena.hpp"
 #include "sim/bitparallel.hpp"
+#include "sim/isa.hpp"
 #include "util/bits.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
@@ -189,6 +191,23 @@ int cmd_info(const std::string& path) {
                   recognize_rdn(loaded.circuit) ? "yes (recognized)" : "no");
     }
   }
+  // Machine facts (which kernel path sweeps would take here, compile
+  // reuse so far). Printed by the CLI only - the service's cached info
+  // payload stays a pure function of the network.
+  const simd::KernelDispatch& kernel = simd::active_kernel();
+  std::string available;
+  for (const simd::Isa isa : simd::available_isas()) {
+    if (!available.empty()) available += ' ';
+    available += simd::isa_name(isa);
+  }
+  std::printf("kernel ISA   %s (%zu-bit lanes; available: %s)\n", kernel.name,
+              kernel.lane_bits, available.c_str());
+  const CompilationArena::Stats arena = CompilationArena::global().stats();
+  std::printf("arena        %llu network(s), %llu bytes, %llu hit(s) / %llu miss(es)\n",
+              static_cast<unsigned long long>(arena.networks),
+              static_cast<unsigned long long>(arena.bytes),
+              static_cast<unsigned long long>(arena.hits),
+              static_cast<unsigned long long>(arena.misses));
   return 0;
 }
 
